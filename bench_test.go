@@ -1,0 +1,281 @@
+package saferatt
+
+// One benchmark per paper artifact (see EXPERIMENTS.md). Each bench
+// regenerates its figure/table data end to end; `go test -bench=. \
+// -benchmem` therefore re-runs the whole evaluation. Benches use
+// reduced Monte Carlo trial counts so an iteration stays sub-second;
+// cmd/figures runs the full-fidelity versions.
+
+import (
+	"fmt"
+	"testing"
+
+	"saferatt/internal/core"
+	"saferatt/internal/costmodel"
+	"saferatt/internal/experiments"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+)
+
+// BenchmarkFig1_OnDemandTimeline regenerates the Figure 1 protocol
+// timeline (challenge -> deferral -> t_s -> t_e -> report -> verify).
+func BenchmarkFig1_OnDemandTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1Timeline(experiments.Fig1Config{})
+		if r.TE <= r.TS {
+			b.Fatal("bad timeline")
+		}
+	}
+}
+
+// BenchmarkFig2_Hash measures REAL hash throughput of this host for
+// the figure's hash set — the host-side complement to the calibrated
+// cost-model series.
+func BenchmarkFig2_Hash(b *testing.B) {
+	sizes := []int{4 << 10, 256 << 10, 4 << 20}
+	for _, id := range suite.HashIDs() {
+		for _, n := range sizes {
+			b.Run(fmt.Sprintf("%s/%s", id, byteLabel(n)), func(b *testing.B) {
+				h, err := suite.NewHash(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf := make([]byte, n)
+				sum := make([]byte, 0, 64)
+				b.SetBytes(int64(n))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h.Reset()
+					h.Write(buf)
+					sum = h.Sum(sum[:0])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig2_Sign measures real signature costs (constant in input
+// size — the other half of the figure's crossover story).
+func BenchmarkFig2_Sign(b *testing.B) {
+	digest := make([]byte, 32)
+	for i := range digest {
+		digest[i] = byte(i)
+	}
+	for _, id := range []suite.SignerID{suite.RSA1024, suite.RSA2048, suite.ECDSA256, suite.ECDSA384} {
+		b.Run(string(id), func(b *testing.B) {
+			sg, err := suite.NewSigner(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sg.Sign(digest); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2_CostModelSeries regenerates the full calibrated series
+// (1 KB .. 2 GB x all algorithms).
+func BenchmarkFig2_CostModelSeries(b *testing.B) {
+	p := costmodel.ODROIDXU4()
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig2Series(p, nil)
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkTable1_FeatureMatrix regenerates the measured Table 1
+// (reduced trials per iteration).
+func BenchmarkTable1_FeatureMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(experiments.Table1Config{Trials: 3, SMARMRounds: 5, Seed: uint64(i)})
+		if len(rows) < 10 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkFig4_ConsistencyWindows regenerates the lock/consistency
+// window table.
+func BenchmarkFig4_ConsistencyWindows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4Windows()
+		if len(rows) != 7 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkE5_FireAlarmLatency regenerates the §2.5 scenario at 1 MiB
+// (simulated) plus the 1 GB analytic anchor.
+func BenchmarkE5_FireAlarmLatency(b *testing.B) {
+	cfg := experiments.E5Config{
+		SimSizes:      []int{1 << 20},
+		AnalyticSizes: []int{1000 << 20},
+		Mechanisms:    []core.MechanismID{core.SMART, core.NoLock},
+	}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.E5FireAlarm(cfg)
+		if len(rows) != 4 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkE6_SMARMEscape regenerates the §3.2 escape-probability
+// Monte Carlo (reduced trials).
+func BenchmarkE6_SMARMEscape(b *testing.B) {
+	cfg := experiments.E6Config{BlockCounts: []int{32}, Rounds: []int{1, 3}, Trials: 25}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		rows := experiments.E6SMARM(cfg)
+		if len(rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkFig5_QoA regenerates the Figure 5 transient-detection sweep
+// (reduced trials).
+func BenchmarkFig5_QoA(b *testing.B) {
+	cfg := experiments.E7Config{
+		TM:     10 * sim.Second,
+		Dwells: []sim.Duration{2 * sim.Second, 8 * sim.Second},
+		Trials: 10,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		rows := experiments.E7QoA(cfg)
+		if len(rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkE8_SeED regenerates the §3.3 SeED property experiments
+// (reduced trials).
+func BenchmarkE8_SeED(b *testing.B) {
+	cfg := experiments.E8Config{
+		LossRates:      []float64{0, 0.2},
+		Horizon:        30 * sim.Second,
+		ScheduleTrials: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		res := experiments.E8SeED(cfg)
+		if res.ReplayAccepted != 0 {
+			b.Fatal("replay accepted")
+		}
+	}
+}
+
+// BenchmarkE9_SoftwareRA regenerates the §2.1 software-based-RA sweep
+// (reduced trials).
+func BenchmarkE9_SoftwareRA(b *testing.B) {
+	cfg := experiments.E9Config{
+		Overheads:  []int{40},
+		Jitters:    []sim.Duration{sim.Millisecond, 50 * sim.Millisecond},
+		Iterations: 200_000,
+		Trials:     5,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		rows := experiments.E9SoftwareRA(cfg)
+		if len(rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkE10_DoS regenerates the §3.3 DoS comparison (short horizon).
+func BenchmarkE10_DoS(b *testing.B) {
+	cfg := experiments.E10Config{
+		FloodPeriods: []sim.Duration{500 * sim.Millisecond},
+		Horizon:      15 * sim.Second,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		rows := experiments.E10DoS(cfg)
+		if len(rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkAblation_SMARMBlocks sweeps SMARM interrupt granularity.
+func BenchmarkAblation_SMARMBlocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationSMARMBlocks([]int{16, 64}, 20, uint64(i))
+		if len(rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkAblation_LockGranularity sweeps sliding-lock block sizes.
+func BenchmarkAblation_LockGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationLockGranularity([]int{16, 64}, uint64(i))
+		if len(rows) == 0 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkAblation_ErasmusScheduling compares fixed vs context-aware
+// self-measurement scheduling.
+func BenchmarkAblation_ErasmusScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationErasmusScheduling(uint64(i))
+		if len(rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkAblation_DeviceClass compares device-class profiles.
+func BenchmarkAblation_DeviceClass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationDeviceClass(sim.Second)
+		if len(rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkExt_Swarm scales collective attestation.
+func BenchmarkExt_Swarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationSwarmScale([]int{4, 16}, uint64(i))
+		if rows[1].Verified != 16 {
+			b.Fatal("swarm verification failed")
+		}
+	}
+}
+
+// BenchmarkEngine_Measurement is a microbenchmark of the simulator
+// itself: one full 256-block measurement session per iteration.
+func BenchmarkEngine_Measurement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewScenario(ScenarioConfig{MemSize: 64 << 10, BlockSize: 256, Seed: uint64(i)})
+		if res := s.AttestOnce(); !res.OK {
+			b.Fatal("clean attestation failed")
+		}
+	}
+}
+
+func byteLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,139 @@
+// Command figures regenerates every table and figure of the paper as
+// text tables (see EXPERIMENTS.md for the mapping and expected shapes).
+//
+// Usage:
+//
+//	figures -all                 # everything (a few minutes)
+//	figures -fig 2               # one figure (1,2,4,5)
+//	figures -table 1             # Table 1
+//	figures -exp e5|e6|e8        # section experiments
+//	figures -ablation a1..a4     # ablations
+//	figures -quick               # reduced trial counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"saferatt/internal/costmodel"
+	"saferatt/internal/experiments"
+	"saferatt/internal/sim"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "regenerate figure N (1, 2, 4, 5)")
+		table    = flag.Int("table", 0, "regenerate table N (1)")
+		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10)")
+		ablation = flag.String("ablation", "", "run ablation (a1, a2, a3, a4, a5)")
+		all      = flag.Bool("all", false, "run everything")
+		quick    = flag.Bool("quick", false, "reduced Monte Carlo trial counts")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	)
+	flag.Parse()
+
+	trials := func(full int) int {
+		if *quick {
+			return full / 10
+		}
+		return full
+	}
+
+	writeCSV := func(name string, emit func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	ran := false
+	run := func(name string, want bool, f func()) {
+		if !want && !*all {
+			return
+		}
+		ran = true
+		fmt.Printf("──── %s ────\n", name)
+		f()
+		fmt.Println()
+	}
+
+	run("Figure 1: on-demand RA timeline", *fig == 1, func() {
+		fmt.Print(experiments.Fig1Timeline(experiments.Fig1Config{}).Timeline)
+	})
+	run("Figure 2: hash & signature timings", *fig == 2, func() {
+		p := costmodel.ODROIDXU4()
+		pts := experiments.Fig2Series(p, nil)
+		fmt.Print(experiments.RenderFig2(pts, p))
+		writeCSV("fig2.csv", func(w io.Writer) error { return experiments.Fig2CSV(w, pts) })
+	})
+	run("Table 1: solution feature matrix (measured)", *table == 1, func() {
+		fmt.Print(experiments.RenderTable1(experiments.Table1(experiments.Table1Config{
+			Trials: trials(20),
+		})))
+	})
+	run("Figure 4: temporal-consistency windows", *fig == 4, func() {
+		fmt.Print(experiments.RenderFig4(experiments.Fig4Windows()))
+	})
+	run("E5 (§2.5): fire-alarm latency", *exp == "e5", func() {
+		rows := experiments.E5FireAlarm(experiments.E5Config{})
+		fmt.Print(experiments.RenderE5(rows))
+		writeCSV("e5.csv", func(w io.Writer) error { return experiments.E5CSV(w, rows) })
+	})
+	run("E6 (§3.2): SMARM escape probability", *exp == "e6", func() {
+		rows := experiments.E6SMARM(experiments.E6Config{Trials: trials(200)})
+		fmt.Print(experiments.RenderE6(rows))
+		writeCSV("e6.csv", func(w io.Writer) error { return experiments.E6CSV(w, rows) })
+	})
+	run("Figure 5 / E7: QoA vs transient malware", *fig == 5, func() {
+		rows := experiments.E7QoA(experiments.E7Config{Trials: trials(100)})
+		fmt.Print(experiments.RenderE7(rows))
+		writeCSV("e7.csv", func(w io.Writer) error { return experiments.E7CSV(w, rows) })
+	})
+	run("E8 (§3.3): SeED properties", *exp == "e8", func() {
+		fmt.Print(experiments.RenderE8(experiments.E8SeED(experiments.E8Config{
+			ScheduleTrials: trials(40),
+		})))
+	})
+	run("E9 (§2.1): software-based RA vs redirection", *exp == "e9", func() {
+		fmt.Print(experiments.RenderE9(experiments.E9SoftwareRA(experiments.E9Config{
+			Trials: trials(20),
+		})))
+	})
+	run("E10 (§3.3): challenge-flood DoS, on-demand vs SeED", *exp == "e10", func() {
+		fmt.Print(experiments.RenderE10(experiments.E10DoS(experiments.E10Config{})))
+	})
+	run("A1: SMARM block-count ablation", *ablation == "a1", func() {
+		fmt.Print(experiments.RenderA1(experiments.AblationSMARMBlocks(nil, trials(100), 1)))
+	})
+	run("A2: lock granularity ablation", *ablation == "a2", func() {
+		fmt.Print(experiments.RenderA2(experiments.AblationLockGranularity(nil, 1)))
+	})
+	run("A3: ERASMUS scheduling ablation", *ablation == "a3", func() {
+		fmt.Print(experiments.RenderA3(experiments.AblationErasmusScheduling(1)))
+	})
+	run("A4: swarm scale ablation", *ablation == "a4", func() {
+		fmt.Print(experiments.RenderA4(experiments.AblationSwarmScale(nil, 1)))
+	})
+	run("A5: device class ablation", *ablation == "a5", func() {
+		fmt.Print(experiments.RenderA5(experiments.AblationDeviceClass(sim.Second), sim.Second))
+	})
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

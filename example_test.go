@@ -1,0 +1,81 @@
+package saferatt_test
+
+import (
+	"fmt"
+
+	"saferatt"
+)
+
+// The simplest possible use: attest a clean device, then catch an
+// infection.
+func Example() {
+	s := saferatt.NewScenario(saferatt.ScenarioConfig{
+		Mechanism: saferatt.SMART,
+		MemSize:   16 << 10,
+	})
+	fmt.Println("clean:", s.AttestOnce().OK)
+
+	if err := s.InfectPersistent(9); err != nil {
+		panic(err)
+	}
+	fmt.Println("infected:", s.AttestOnce().OK)
+	// Output:
+	// clean: true
+	// infected: false
+}
+
+// Shuffled measurement (SMARM) against optimal roving malware: one
+// round is a coin flip weighted e⁻¹; thirteen rounds are conclusive.
+func ExampleNewScenario_smarm() {
+	s := saferatt.NewScenario(saferatt.ScenarioConfig{
+		Mechanism: saferatt.SMARM,
+		Rounds:    13,
+		MemSize:   8 << 10,
+		Seed:      42,
+	})
+	if _, err := s.NewSelfRelocating(7, 42); err != nil {
+		panic(err)
+	}
+	res := s.AttestOnce()
+	fmt.Println("detected:", !res.OK)
+	// Output:
+	// detected: true
+}
+
+// The closed forms from the paper's analysis are exposed directly.
+func ExampleSMARMEscape() {
+	fmt.Printf("1 round, 1000 blocks: %.3f\n", saferatt.SMARMEscape(1000, 1))
+	fmt.Printf("13 rounds: %.2g\n", saferatt.SMARMEscape(1000, 13))
+	// Output:
+	// 1 round, 1000 blocks: 0.368
+	// 13 rounds: 2.2e-06
+}
+
+// Quality of Attestation: a transient infection shorter than the
+// self-measurement period can escape; a longer one cannot (Fig. 5).
+func ExampleTransientDetectProb() {
+	tm := 10 * saferatt.Second
+	fmt.Printf("dwell 2s:  %.1f\n", saferatt.TransientDetectProb(2*saferatt.Second, tm))
+	fmt.Printf("dwell 15s: %.1f\n", saferatt.TransientDetectProb(15*saferatt.Second, tm))
+	// Output:
+	// dwell 2s:  0.2
+	// dwell 15s: 1.0
+}
+
+// Transient malware erases itself when measurement starts: Inc-Lock
+// cannot stop the erase (its block is still writable at t_s), Dec-Lock
+// can (everything is locked at t_s).
+func ExampleNewScenario_lockPolicies() {
+	run := func(mech saferatt.MechanismID) bool {
+		s := saferatt.NewScenario(saferatt.ScenarioConfig{Mechanism: mech, Seed: 6})
+		if _, err := s.NewTransient(14); err != nil {
+			panic(err)
+		}
+		return !s.AttestOnce().OK
+	}
+	fmt.Println("Dec-Lock detects:", run(saferatt.DecLock))
+	fmt.Println("Inc-Lock detects:", run(saferatt.IncLock))
+	// Output:
+	// Dec-Lock detects: true
+	// Inc-Lock detects: false
+}

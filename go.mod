@@ -1,0 +1,3 @@
+module saferatt
+
+go 1.22

@@ -1,0 +1,169 @@
+package blake2
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math/bits"
+)
+
+const (
+	// BlockSizeS is the BLAKE2s block size in bytes.
+	BlockSizeS = 64
+	// MaxSizeS is the maximum BLAKE2s digest size in bytes.
+	MaxSizeS = 32
+	// MaxKeyS is the maximum BLAKE2s key size in bytes.
+	MaxKeyS = 32
+)
+
+var ivS = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+type digestS struct {
+	h      [8]uint32
+	t      [2]uint32 // 64-bit byte counter
+	x      [BlockSizeS]byte
+	nx     int
+	size   int
+	keyLen int
+	key    [BlockSizeS]byte
+}
+
+// NewS returns a BLAKE2s hash.Hash producing digests of the given size
+// (1..32 bytes). If key is non-empty (up to 32 bytes), the hash runs in
+// keyed MAC mode.
+func NewS(size int, key []byte) (hash.Hash, error) {
+	if size < 1 || size > MaxSizeS {
+		return nil, fmt.Errorf("blake2: invalid BLAKE2s digest size %d", size)
+	}
+	if len(key) > MaxKeyS {
+		return nil, fmt.Errorf("blake2: BLAKE2s key too long: %d > %d", len(key), MaxKeyS)
+	}
+	d := &digestS{size: size, keyLen: len(key)}
+	copy(d.key[:], key)
+	d.Reset()
+	return d, nil
+}
+
+// New256 returns an unkeyed BLAKE2s-256 hash.
+func New256() hash.Hash {
+	d, err := NewS(32, nil)
+	if err != nil {
+		panic(err) // unreachable: parameters are valid
+	}
+	return d
+}
+
+// SumS is a convenience one-shot BLAKE2s.
+func SumS(size int, key, data []byte) ([]byte, error) {
+	d, err := NewS(size, key)
+	if err != nil {
+		return nil, err
+	}
+	d.Write(data)
+	return d.Sum(nil), nil
+}
+
+func (d *digestS) Size() int      { return d.size }
+func (d *digestS) BlockSize() int { return BlockSizeS }
+
+func (d *digestS) Reset() {
+	d.h = ivS
+	d.h[0] ^= uint32(d.size) | uint32(d.keyLen)<<8 | 1<<16 | 1<<24
+	d.t[0], d.t[1] = 0, 0
+	d.nx = 0
+	if d.keyLen > 0 {
+		copy(d.x[:], d.key[:])
+		d.nx = BlockSizeS
+	}
+}
+
+func (d *digestS) Write(p []byte) (n int, err error) {
+	n = len(p)
+	if d.nx > 0 {
+		left := BlockSizeS - d.nx
+		if len(p) > left {
+			copy(d.x[d.nx:], p[:left])
+			p = p[left:]
+			d.compress(d.x[:], BlockSizeS, false)
+			d.nx = 0
+		} else {
+			copy(d.x[d.nx:], p)
+			d.nx += len(p)
+			return n, nil
+		}
+	}
+	if len(p) > BlockSizeS {
+		nn := ((len(p) - 1) / BlockSizeS) * BlockSizeS
+		for i := 0; i < nn; i += BlockSizeS {
+			d.compress(p[i:i+BlockSizeS], BlockSizeS, false)
+		}
+		p = p[nn:]
+	}
+	copy(d.x[:], p)
+	d.nx = len(p)
+	return n, nil
+}
+
+func (d *digestS) Sum(b []byte) []byte {
+	dd := *d
+	for i := dd.nx; i < BlockSizeS; i++ {
+		dd.x[i] = 0
+	}
+	dd.compress(dd.x[:], uint32(dd.nx), true)
+	var out [MaxSizeS]byte
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint32(out[4*i:], dd.h[i])
+	}
+	return append(b, out[:dd.size]...)
+}
+
+func (d *digestS) compress(block []byte, inc uint32, final bool) {
+	d.t[0] += inc
+	if d.t[0] < inc {
+		d.t[1]++
+	}
+
+	var m [16]uint32
+	for i := range m {
+		m[i] = binary.LittleEndian.Uint32(block[4*i:])
+	}
+
+	var v [16]uint32
+	copy(v[:8], d.h[:])
+	copy(v[8:], ivS[:])
+	v[12] ^= d.t[0]
+	v[13] ^= d.t[1]
+	if final {
+		v[14] = ^v[14]
+	}
+
+	for r := 0; r < 10; r++ {
+		s := &sigma[r]
+		gS(&v, 0, 4, 8, 12, m[s[0]], m[s[1]])
+		gS(&v, 1, 5, 9, 13, m[s[2]], m[s[3]])
+		gS(&v, 2, 6, 10, 14, m[s[4]], m[s[5]])
+		gS(&v, 3, 7, 11, 15, m[s[6]], m[s[7]])
+		gS(&v, 0, 5, 10, 15, m[s[8]], m[s[9]])
+		gS(&v, 1, 6, 11, 12, m[s[10]], m[s[11]])
+		gS(&v, 2, 7, 8, 13, m[s[12]], m[s[13]])
+		gS(&v, 3, 4, 9, 14, m[s[14]], m[s[15]])
+	}
+
+	for i := 0; i < 8; i++ {
+		d.h[i] ^= v[i] ^ v[i+8]
+	}
+}
+
+func gS(v *[16]uint32, a, b, c, dd int, x, y uint32) {
+	v[a] += v[b] + x
+	v[dd] = bits.RotateLeft32(v[dd]^v[a], -16)
+	v[c] += v[dd]
+	v[b] = bits.RotateLeft32(v[b]^v[c], -12)
+	v[a] += v[b] + y
+	v[dd] = bits.RotateLeft32(v[dd]^v[a], -8)
+	v[c] += v[dd]
+	v[b] = bits.RotateLeft32(v[b]^v[c], -7)
+}

@@ -1,0 +1,119 @@
+// Package cmac implements AES-CMAC (RFC 4493, the modern form of the
+// AES-CBC-MAC family the paper's §2.4 names as the encryption-based
+// measurement option: "a Message Authentication Code (MAC), based
+// either on hashing (e.g., HMAC-SHA-2) or encryption (e.g.,
+// AES-CBC-MAC)"). Plain CBC-MAC is insecure for variable-length
+// messages; CMAC is its standardized fix, built only on the standard
+// library's AES.
+package cmac
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"hash"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// Size is the tag size in bytes.
+const Size = 16
+
+type cmac struct {
+	block  cipher.Block
+	k1, k2 [BlockSize]byte
+	x      [BlockSize]byte // running CBC state
+	buf    [BlockSize]byte
+	nbuf   int
+}
+
+// New returns an AES-CMAC hash.Hash for a 16-, 24- or 32-byte key.
+func New(key []byte) (hash.Hash, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cmac: %w", err)
+	}
+	c := &cmac{block: block}
+	c.deriveSubkeys()
+	return c, nil
+}
+
+// deriveSubkeys computes K1 and K2 per RFC 4493 §2.3.
+func (c *cmac) deriveSubkeys() {
+	var l [BlockSize]byte
+	c.block.Encrypt(l[:], l[:])
+	shiftAndXor(&c.k1, l)
+	shiftAndXor(&c.k2, c.k1)
+}
+
+// shiftAndXor sets dst = (src << 1), xoring the Rb constant if the
+// shifted-out bit was set.
+func shiftAndXor(dst *[BlockSize]byte, src [BlockSize]byte) {
+	var carry byte
+	for i := BlockSize - 1; i >= 0; i-- {
+		b := src[i]
+		dst[i] = b<<1 | carry
+		carry = b >> 7
+	}
+	if carry != 0 {
+		dst[BlockSize-1] ^= 0x87 // Rb for 128-bit blocks
+	}
+}
+
+func (c *cmac) Size() int      { return Size }
+func (c *cmac) BlockSize() int { return BlockSize }
+
+func (c *cmac) Reset() {
+	c.x = [BlockSize]byte{}
+	c.nbuf = 0
+}
+
+func (c *cmac) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		// Keep at least one byte buffered: the final block needs
+		// special treatment.
+		if c.nbuf == BlockSize {
+			c.cbcStep(c.buf[:])
+			c.nbuf = 0
+		}
+		take := BlockSize - c.nbuf
+		if take > len(p) {
+			take = len(p)
+		}
+		copy(c.buf[c.nbuf:], p[:take])
+		c.nbuf += take
+		p = p[take:]
+	}
+	return n, nil
+}
+
+// cbcStep absorbs one full block into the CBC state.
+func (c *cmac) cbcStep(block []byte) {
+	for i := 0; i < BlockSize; i++ {
+		c.x[i] ^= block[i]
+	}
+	c.block.Encrypt(c.x[:], c.x[:])
+}
+
+func (c *cmac) Sum(b []byte) []byte {
+	// Finalize a copy so further Writes remain valid.
+	cc := *c
+	var last [BlockSize]byte
+	if cc.nbuf == BlockSize {
+		// Complete final block: xor K1.
+		for i := 0; i < BlockSize; i++ {
+			last[i] = cc.buf[i] ^ cc.k1[i]
+		}
+	} else {
+		// Partial (or empty) final block: pad 10*..., xor K2.
+		copy(last[:], cc.buf[:cc.nbuf])
+		last[cc.nbuf] = 0x80
+		for i := 0; i < BlockSize; i++ {
+			last[i] ^= cc.k2[i]
+		}
+	}
+	cc.cbcStep(last[:])
+	return append(b, cc.x[:]...)
+}

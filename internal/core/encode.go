@@ -1,0 +1,81 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math/rand/v2"
+)
+
+// The canonical measurement encoding binds the challenge, round number,
+// traversal position and block index into the tag, so a report cannot
+// be replayed across challenges or rounds and a permuted traversal
+// cannot be forged from a sequential one. Prover and verifier must
+// produce byte-identical streams; both sides use the helpers below.
+
+// writeMeasurementHeader emits the per-measurement prefix.
+func writeMeasurementHeader(w io.Writer, nonce []byte, round int) {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(nonce)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(round))
+	w.Write(hdr[:])
+	w.Write(nonce)
+}
+
+// writeBlockHeader emits the per-block prefix: traversal position and
+// block index.
+func writeBlockHeader(w io.Writer, pos, block int) {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(pos))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(block))
+	w.Write(hdr[:])
+}
+
+// DeriveOrder returns the block traversal order for a measurement:
+// the identity for sequential mechanisms, or a keyed pseudorandom
+// permutation for shuffled (SMARM) traversal.
+//
+// The permutation is derived as PRF(permKey, nonce || round) feeding a
+// Fisher–Yates shuffle. The verifier shares permKey (it shares the
+// attestation key in the MAC setting), so it can re-derive the order;
+// prover-resident malware cannot, which is exactly SMARM's assumption
+// that "malware is unable to determine what blocks have been measured".
+func DeriveOrder(permKey, nonce []byte, round, n int, shuffled bool) []int {
+	return DeriveOrderRegion(permKey, nonce, round, 0, n, shuffled)
+}
+
+// DeriveOrderRegion is DeriveOrder restricted to the block range
+// [start, start+count): TyTAN-style per-process measurement traverses
+// only the measured process's region.
+func DeriveOrderRegion(permKey, nonce []byte, round, start, count int, shuffled bool) []int {
+	order := make([]int, count)
+	for i := range order {
+		order[i] = start + i
+	}
+	if !shuffled || count < 2 {
+		return order
+	}
+	n := count
+	mac := hmac.New(sha256.New, permKey)
+	writeMeasurementHeader(mac, nonce, round)
+	seed := mac.Sum(nil)
+	rng := rand.New(rand.NewPCG(
+		binary.BigEndian.Uint64(seed[:8]),
+		binary.BigEndian.Uint64(seed[8:16]),
+	))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// ExpectedStream writes the canonical measurement byte stream for a
+// reference memory image to w: the verifier-side mirror of what the
+// engine feeds its tagger. ref must be the full memory image; order
+// lists block indices in traversal order.
+func ExpectedStream(w io.Writer, ref []byte, blockSize int, nonce []byte, round int, order []int) {
+	writeMeasurementHeader(w, nonce, round)
+	for pos, b := range order {
+		writeBlockHeader(w, pos, b)
+		w.Write(ref[b*blockSize : (b+1)*blockSize])
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"saferatt/internal/channel"
+	"saferatt/internal/device"
+	"saferatt/internal/sim"
+)
+
+// ErasmusProver performs ERASMUS-style recurrent self-measurements
+// (§3.3): every TM it measures itself with a self-derived nonce and
+// stores the report locally; a verifier occasionally sends MsgCollect
+// and receives the stored history. Measurement frequency (TM) and
+// collection frequency (TC, chosen by the verifier) are the two
+// components of Quality of Attestation.
+//
+// Optionally it is context-aware: if the Busy probe reports the device
+// is doing critical work at a tick, the measurement is deferred by
+// RetryDelay rather than competing with the critical task. And it can
+// remain hybrid: with OnDemand set it also answers explicit challenges
+// for maximum freshness.
+type ErasmusProver struct {
+	Name string
+	Dev  *device.Device
+	Link *channel.Link
+	// Opts configure each self-measurement (typically an interruptible
+	// preset: No-Lock, a sliding lock, or SMARM).
+	Opts Options
+	// TM is the self-measurement period.
+	TM sim.Duration
+	// HistoryCap bounds stored reports (oldest evicted). 0 means 64.
+	HistoryCap int
+	// ContextAware defers a tick while Busy() reports critical work.
+	ContextAware bool
+	Busy         func() bool
+	RetryDelay   sim.Duration
+	// OnDemand additionally serves explicit challenges (hybrid mode).
+	OnDemand bool
+	// Hooks are installed on every measurement.
+	Hooks Hooks
+
+	task    *device.Task
+	ticker  *sim.Ticker
+	counter uint64
+	history []*Report
+	running bool
+	// Deferred counts ticks postponed for context-awareness; Skipped
+	// counts ticks dropped because the previous measurement still ran.
+	Deferred int
+	Skipped  int
+}
+
+// NewErasmus wires an ERASMUS prover to the link (link may be nil for
+// purely local experiments). prio is the measurement task priority.
+func NewErasmus(name string, dev *device.Device, link *channel.Link, opts Options, tm sim.Duration, prio int) (*ErasmusProver, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if tm <= 0 {
+		tm = 10 * sim.Second
+	}
+	e := &ErasmusProver{
+		Name: name, Dev: dev, Link: link, Opts: opts, TM: tm,
+		HistoryCap: 64, RetryDelay: tm / 10,
+	}
+	e.task = dev.NewTask("MP:"+name, prio)
+	if link != nil {
+		link.Connect(name, e.onMessage)
+	}
+	return e, nil
+}
+
+// Task exposes the measurement task.
+func (e *ErasmusProver) Task() *device.Task { return e.task }
+
+// Start begins the self-measurement schedule.
+func (e *ErasmusProver) Start() {
+	e.ticker = e.Dev.Kernel.NewTicker(e.TM, func(sim.Time) { e.tick() })
+}
+
+// Stop halts the schedule.
+func (e *ErasmusProver) Stop() {
+	if e.ticker != nil {
+		e.ticker.Stop()
+	}
+}
+
+func (e *ErasmusProver) tick() {
+	if e.running {
+		e.Skipped++
+		return
+	}
+	if e.ContextAware && e.Busy != nil && e.Busy() {
+		e.Deferred++
+		delay := e.RetryDelay
+		if delay <= 0 {
+			delay = sim.Millisecond
+		}
+		e.Dev.Kernel.Schedule(delay, e.tick)
+		return
+	}
+	e.measureNow(nil)
+}
+
+// measureNow runs one measurement; challengeNonce is nil for scheduled
+// self-measurements (the nonce is then self-derived from the counter).
+func (e *ErasmusProver) measureNow(challengeNonce []byte) {
+	e.counter++
+	counter := e.counter
+	nonce := challengeNonce
+	if nonce == nil {
+		nonce = PRF(e.Dev.AttestationKey, "erasmus-nonce", counter)
+	}
+	s, err := NewSession(e.Dev, e.task, e.Opts, nonce, counter)
+	if err != nil {
+		return
+	}
+	s.Hooks = e.Hooks
+	e.running = true
+	s.Start(func(reports []*Report, err error) {
+		e.running = false
+		if err != nil {
+			return
+		}
+		e.store(reports)
+	})
+}
+
+func (e *ErasmusProver) store(reports []*Report) {
+	e.history = append(e.history, reports...)
+	limit := e.HistoryCap
+	if limit <= 0 {
+		limit = 64
+	}
+	if len(e.history) > limit {
+		e.history = append([]*Report(nil), e.history[len(e.history)-limit:]...)
+	}
+}
+
+// History returns a copy of the stored reports (oldest first).
+func (e *ErasmusProver) History() []*Report {
+	return append([]*Report(nil), e.history...)
+}
+
+// Counter returns the number of measurements started.
+func (e *ErasmusProver) Counter() uint64 { return e.counter }
+
+func (e *ErasmusProver) onMessage(m channel.Message) {
+	switch m.Kind {
+	case MsgCollect:
+		e.Link.Send(e.Name, m.From, MsgCollection, e.History())
+	case MsgChallenge:
+		if !e.OnDemand {
+			return
+		}
+		if nonce, ok := m.Payload.([]byte); ok && !e.running {
+			from := m.From
+			e.measureAndReply(from, nonce)
+		}
+	}
+}
+
+func (e *ErasmusProver) measureAndReply(from string, nonce []byte) {
+	e.counter++
+	s, err := NewSession(e.Dev, e.task, e.Opts, nonce, e.counter)
+	if err != nil {
+		return
+	}
+	s.Hooks = e.Hooks
+	e.running = true
+	s.Start(func(reports []*Report, err error) {
+		e.running = false
+		if err != nil {
+			return
+		}
+		e.store(reports)
+		e.Link.Send(e.Name, from, MsgReport, reports)
+	})
+}

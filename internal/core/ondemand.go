@@ -1,0 +1,100 @@
+package core
+
+import (
+	"saferatt/internal/channel"
+	"saferatt/internal/device"
+	"saferatt/internal/trace"
+)
+
+// Protocol message kinds exchanged between prover and verifier.
+const (
+	MsgChallenge  = "challenge"   // Vrf -> Prv: []byte nonce
+	MsgReport     = "report"      // Prv -> Vrf: []*Report
+	MsgRelease    = "release"     // Vrf -> Prv: release extended locks (t_r)
+	MsgCollect    = "collect"     // Vrf -> Prv: request stored self-measurements
+	MsgCollection = "collection"  // Prv -> Vrf: []*Report history
+	MsgSeedReport = "seed-report" // Prv -> Vrf: unsolicited SeED report
+)
+
+// Prover is an on-demand attestation responder: it receives challenges
+// over the link, runs a measurement session per the configured
+// mechanism, and returns the reports (the §2.2 timeline).
+type Prover struct {
+	Name string
+	Dev  *device.Device
+	Link *channel.Link
+	Opts Options
+	// Hooks are installed on every measurement (adversary/experiment
+	// observation).
+	Hooks Hooks
+	// VerifierName is the report destination.
+	VerifierName string
+
+	task    *device.Task
+	counter uint64
+	session *Session
+	busy    bool
+	// DroppedBusy counts challenges discarded because a session was
+	// already running.
+	DroppedBusy int
+}
+
+// NewProver wires a prover to the link. prio is the MP task priority
+// (HYDRA semantics come from passing the highest priority on the
+// device; TrustLite-style designs pass a low one).
+func NewProver(name string, dev *device.Device, link *channel.Link, opts Options, prio int) (*Prover, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Prover{Name: name, Dev: dev, Link: link, Opts: opts, VerifierName: "verifier"}
+	p.task = dev.NewTask("MP:"+name, prio)
+	link.Connect(name, p.onMessage)
+	return p, nil
+}
+
+// Task exposes the measurement task (experiments adjust priority or
+// inspect stats).
+func (p *Prover) Task() *device.Task { return p.task }
+
+func (p *Prover) onMessage(m channel.Message) {
+	switch m.Kind {
+	case MsgChallenge:
+		nonce, ok := m.Payload.([]byte)
+		if !ok {
+			return
+		}
+		p.Dev.Trace.Add(p.Dev.Kernel.Now(), trace.KindRequestReceived, p.Name, "challenge")
+		p.handleChallenge(m.From, nonce)
+	case MsgRelease:
+		if p.session != nil {
+			p.session.Release()
+		}
+	}
+}
+
+func (p *Prover) handleChallenge(from string, nonce []byte) {
+	if p.busy {
+		p.DroppedBusy++
+		return
+	}
+	p.counter++
+	s, err := NewSession(p.Dev, p.task, p.Opts, nonce, p.counter)
+	if err != nil {
+		return
+	}
+	s.Hooks = p.Hooks
+	p.session = s
+	p.busy = true
+	s.Start(func(reports []*Report, err error) {
+		p.busy = false
+		if err != nil {
+			return
+		}
+		p.Dev.Trace.Add(p.Dev.Kernel.Now(), trace.KindReportSent, p.Name, "")
+		p.Link.Send(p.Name, from, MsgReport, reports)
+	})
+}
+
+// Session returns the most recent measurement session (nil before the
+// first challenge).
+func (p *Prover) Session() *Session { return p.session }

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/device"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+)
+
+func newLinkedRig(t *testing.T) (*rig, *channel.Link) {
+	t.Helper()
+	r := newRig(t, 4096, 256)
+	link := channel.New(channel.Config{Kernel: r.k, Latency: sim.Millisecond})
+	return r, link
+}
+
+func TestProverRespondsToChallenge(t *testing.T) {
+	r, link := newLinkedRig(t)
+	opts := Preset(SMART, suite.SHA256)
+	p, err := NewProver("prv", r.dev, link, opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Task() == nil {
+		t.Fatal("no MP task")
+	}
+	var got []*Report
+	link.Connect("verifier", func(m channel.Message) {
+		if m.Kind == MsgReport {
+			got = m.Payload.([]*Report)
+		}
+	})
+	link.Send("verifier", "prv", MsgChallenge, []byte("abc"))
+	r.k.Run()
+	if len(got) != 1 {
+		t.Fatalf("reports: %d", len(got))
+	}
+	if string(got[0].Nonce) != "abc" {
+		t.Fatal("nonce not echoed")
+	}
+	if p.Session() == nil {
+		t.Fatal("session not retained")
+	}
+	if p.Session().Holding() {
+		t.Fatal("non-Ext session holding locks")
+	}
+}
+
+func TestProverDropsChallengeWhileBusy(t *testing.T) {
+	r, link := newLinkedRig(t)
+	opts := Preset(SMART, suite.SHA256)
+	p, err := NewProver("prv", r.dev, link, opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replies := 0
+	link.Connect("verifier", func(m channel.Message) {
+		if m.Kind == MsgReport {
+			replies++
+		}
+	})
+	// Two challenges back-to-back: the second arrives while the first
+	// session runs.
+	link.Send("verifier", "prv", MsgChallenge, []byte("one"))
+	link.Send("verifier", "prv", MsgChallenge, []byte("two"))
+	r.k.Run()
+	if replies != 1 {
+		t.Fatalf("replies = %d, want 1", replies)
+	}
+	if p.DroppedBusy != 1 {
+		t.Fatalf("DroppedBusy = %d, want 1", p.DroppedBusy)
+	}
+}
+
+func TestProverIgnoresMalformedPayloads(t *testing.T) {
+	r, link := newLinkedRig(t)
+	opts := Preset(SMART, suite.SHA256)
+	if _, err := NewProver("prv", r.dev, link, opts, 10); err != nil {
+		t.Fatal(err)
+	}
+	replies := 0
+	link.Connect("verifier", func(m channel.Message) { replies++ })
+	link.Send("verifier", "prv", MsgChallenge, 12345) // not a []byte
+	link.Send("verifier", "prv", "garbage-kind", nil)
+	r.k.Run()
+	if replies != 0 {
+		t.Fatalf("replies to malformed traffic: %d", replies)
+	}
+}
+
+func TestNewProverRejectsInvalidOptions(t *testing.T) {
+	r, link := newLinkedRig(t)
+	if _, err := NewProver("prv", r.dev, link, Options{}, 10); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestReleaseMessageWithoutSessionIsNoop(t *testing.T) {
+	r, link := newLinkedRig(t)
+	opts := Preset(AllLockExt, suite.SHA256)
+	if _, err := NewProver("prv", r.dev, link, opts, 10); err != nil {
+		t.Fatal(err)
+	}
+	link.Send("verifier", "prv", MsgRelease, nil) // before any challenge
+	r.k.Run()                                     // must not panic
+}
+
+func TestMeasurementErrorPathDeliversAsync(t *testing.T) {
+	r := newRig(t, 2048, 256)
+	task := r.dev.NewTask("mp", 5)
+	opts := Preset(SMART, suite.SHA256)
+	opts.Signer = "NOT-A-SIGNER"
+	m, err := NewMeasurement(r.dev, task, opts, nil, 0)
+	if err != nil {
+		t.Fatal(err) // options validate; the signer fails at Start
+	}
+	var gotErr error
+	done := false
+	m.Start(func(rep *Report, err error) {
+		done = true
+		gotErr = err
+		if rep != nil {
+			t.Error("report delivered alongside error")
+		}
+	})
+	if done {
+		t.Fatal("error delivered synchronously")
+	}
+	r.k.Run()
+	if !done || gotErr == nil {
+		t.Fatalf("error not delivered: done=%v err=%v", done, gotErr)
+	}
+
+	// Session propagates the same failure.
+	s, err := NewSession(r.dev, task, opts, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sessErr error
+	s.Start(func(rr []*Report, err error) { sessErr = err })
+	r.k.Run()
+	if sessErr == nil {
+		t.Fatal("session swallowed the error")
+	}
+	if s.Holding() {
+		t.Fatal("failed session holding locks")
+	}
+}
+
+func TestErasmusAccessors(t *testing.T) {
+	r := newRig(t, 2048, 256)
+	e, err := NewErasmus("prv", r.dev, nil, Preset(NoLock, suite.SHA256), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TM != 10*sim.Second {
+		t.Fatalf("default TM = %v", e.TM)
+	}
+	if e.Task() == nil {
+		t.Fatal("no task")
+	}
+	if e.Counter() != 0 {
+		t.Fatal("counter should start at 0")
+	}
+	if _, err := NewErasmus("x", r.dev, nil, Options{}, 0, 5); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestSeEDAccessorsAndDefaults(t *testing.T) {
+	r, link := newLinkedRig(t)
+	p, err := NewSeED("prv", r.dev, link, Preset(NoLock, suite.SHA256), []byte("s"), 0, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 10*sim.Second || p.Jitter != 5*sim.Second {
+		t.Fatalf("defaults: base %v jitter %v", p.Base, p.Jitter)
+	}
+	if p.Task() == nil {
+		t.Fatal("no task")
+	}
+	if _, err := NewSeED("x", r.dev, link, Options{}, nil, 0, 0, 5); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestTyTANProcessesAccessor(t *testing.T) {
+	r := newRig(t, 4096, 256)
+	procs := []*Process{
+		{Name: "a", Task: r.dev.NewTask("a", 1), Region: device.Region{Start: 1, Count: 7}},
+		{Name: "b", Task: r.dev.NewTask("b", 1), Region: device.Region{Start: 8, Count: 8}},
+	}
+	ty, err := NewTyTAN(r.dev, 5, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ty.Processes()) != 2 {
+		t.Fatal("processes accessor")
+	}
+	var reports map[string]*Report
+	ty.MeasureAll([]byte("n"), func(r map[string]*Report, err error) {
+		if err != nil {
+			t.Fatalf("MeasureAll: %v", err)
+		}
+		reports = r
+	})
+	r.k.Run()
+	if len(reports) != 2 {
+		t.Fatalf("reports: %v", reports)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"saferatt/internal/mem"
+	"saferatt/internal/sim"
+)
+
+// Report is the attestation report MP produces for one measurement
+// round. The wire content is Nonce/Round/Tag (+timestamps for the
+// self-measurement schemes); the remaining fields are simulation
+// metadata used by experiments, clearly separated below.
+type Report struct {
+	// Wire content.
+	Mechanism MechanismID
+	Scheme    string
+	Nonce     []byte
+	Round     int
+	Counter   uint64 // monotonic measurement counter (ERASMUS/SeED replay protection)
+	Tag       []byte
+	TS        sim.Time // t_s: measurement start
+	TE        sim.Time // t_e: measurement end
+	// Data carries verbatim copies of DataReported blocks, captured at
+	// their coverage instants (§2.3: "accompanied by a copy of D").
+	Data map[int][]byte
+	// RegionStart/RegionCount identify a per-process measurement's
+	// block range; RegionCount == 0 means the whole memory.
+	RegionStart, RegionCount int
+
+	// Simulation metadata (not authenticated, never used by the
+	// verifier's accept/reject decision).
+	ReleasedAt sim.Time      // t_r, zero if no extended release happened
+	Coverage   *mem.Coverage // per-block coverage instants
+	Order      []int         // traversal order actually used
+	BlockSize  int
+	NumBlocks  int
+}
+
+// Duration returns t_e - t_s.
+func (r *Report) Duration() sim.Duration { return r.TE.Sub(r.TS) }
+
+// Progress is what prover-resident software — including malware — can
+// observe about an ongoing measurement (SMARM §3.2: malware "may be
+// able to determine how far along the measurement is ... and thus
+// deduce how many blocks have been measured").
+type Progress struct {
+	// Count is the number of blocks measured so far in this round.
+	Count int
+	// Total is the number of blocks in the traversal.
+	Total int
+	// Round is the current round index (0-based).
+	Round int
+	// KnownOrder is the traversal order if it is public (sequential
+	// mechanisms), or nil when the order is secret (shuffled).
+	KnownOrder []int
+	// Now is the current virtual time.
+	Now sim.Time
+}
+
+// MeasuredBlocks returns the set of already-measured block indices if
+// the order is public, or nil if the order is secret.
+func (p Progress) MeasuredBlocks() []int {
+	if p.KnownOrder == nil {
+		return nil
+	}
+	return p.KnownOrder[:p.Count]
+}
+
+// Hooks let experiment harnesses and adversary models observe a
+// measurement. All hooks are optional.
+type Hooks struct {
+	// OnStart fires at t_s, after locks for the policy are in place.
+	OnStart func(p Progress)
+	// OnBlock fires after each block is covered.
+	OnBlock func(p Progress)
+	// OnFinish fires at t_e with the completed report.
+	OnFinish func(r *Report)
+}

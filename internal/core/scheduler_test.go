@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+)
+
+func TestErasmusAccumulatesHistory(t *testing.T) {
+	r := newRig(t, 4096, 256)
+	e, err := NewErasmus("prv", r.dev, nil, Preset(NoLock, suite.SHA256), sim.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	r.k.RunUntil(sim.Time(10*sim.Second) + 1)
+	e.Stop()
+	r.k.Run()
+	h := e.History()
+	if len(h) != 10 {
+		t.Fatalf("history has %d reports, want 10", len(h))
+	}
+	for i, rep := range h {
+		if rep.Counter != uint64(i+1) {
+			t.Fatalf("report %d counter %d", i, rep.Counter)
+		}
+		// Self-derived nonce binds the counter.
+		want := PRF(r.dev.AttestationKey, "erasmus-nonce", rep.Counter)
+		if string(rep.Nonce) != string(want) {
+			t.Fatalf("report %d nonce not PRF-derived", i)
+		}
+	}
+	// Cadence: t_s gaps ≈ 1s.
+	for i := 1; i < len(h); i++ {
+		gap := h[i].TS.Sub(h[i-1].TS)
+		if gap < 900*sim.Millisecond || gap > 1100*sim.Millisecond {
+			t.Fatalf("gap %d = %v, want ~1s", i, gap)
+		}
+	}
+}
+
+func TestErasmusHistoryCapEvictsOldest(t *testing.T) {
+	r := newRig(t, 2048, 256)
+	e, _ := NewErasmus("prv", r.dev, nil, Preset(NoLock, suite.SHA256), sim.Second, 5)
+	e.HistoryCap = 3
+	e.Start()
+	r.k.RunUntil(sim.Time(8*sim.Second) + 1)
+	e.Stop()
+	r.k.Run()
+	h := e.History()
+	if len(h) != 3 {
+		t.Fatalf("history has %d, want 3", len(h))
+	}
+	if h[0].Counter != 6 || h[2].Counter != 8 {
+		t.Fatalf("history counters %d..%d, want 6..8", h[0].Counter, h[2].Counter)
+	}
+}
+
+func TestErasmusContextAwareDefers(t *testing.T) {
+	r := newRig(t, 4096, 256)
+	busy := true
+	e, _ := NewErasmus("prv", r.dev, nil, Preset(NoLock, suite.SHA256), sim.Second, 5)
+	e.ContextAware = true
+	e.Busy = func() bool { return busy }
+	e.RetryDelay = 100 * sim.Millisecond
+	e.Start()
+	// Device is "critical" until t=2.55s.
+	r.k.At(sim.Time(2550*sim.Millisecond), func() { busy = false })
+	r.k.RunUntil(sim.Time(3 * sim.Second))
+	e.Stop()
+	r.k.Run()
+	if e.Deferred == 0 {
+		t.Fatal("no deferrals recorded")
+	}
+	h := e.History()
+	if len(h) == 0 {
+		t.Fatal("no measurements after busy period ended")
+	}
+	if h[0].TS < sim.Time(2550*sim.Millisecond) {
+		t.Fatalf("measurement at %v during critical period", h[0].TS)
+	}
+}
+
+func TestErasmusSkipsWhenMeasurementStillRunning(t *testing.T) {
+	// Period shorter than one measurement: ticks must be skipped, not
+	// queued.
+	r := newRig(t, 1<<20, 4096) // 1 MiB: MP ~7.3ms
+	e, _ := NewErasmus("prv", r.dev, nil, Preset(NoLock, suite.SHA256), sim.Millisecond, 5)
+	e.Start()
+	r.k.RunUntil(sim.Time(50 * sim.Millisecond))
+	e.Stop()
+	r.k.Run()
+	if e.Skipped == 0 {
+		t.Fatal("expected skipped ticks with TM < measurement time")
+	}
+	if len(e.History()) == 0 {
+		t.Fatal("no measurements completed")
+	}
+}
+
+func TestErasmusCollectAndHybridOnDemand(t *testing.T) {
+	r := newRig(t, 2048, 256)
+	link := channel.New(channel.Config{Kernel: r.k, Latency: sim.Millisecond})
+	e, _ := NewErasmus("prv", r.dev, link, Preset(NoLock, suite.SHA256), sim.Second, 5)
+	e.OnDemand = true
+	e.Start()
+
+	var collected []*Report
+	var onDemand []*Report
+	link.Connect("verifier", func(m channel.Message) {
+		switch m.Kind {
+		case MsgCollection:
+			collected = m.Payload.([]*Report)
+		case MsgReport:
+			onDemand = m.Payload.([]*Report)
+		}
+	})
+
+	r.k.At(sim.Time(3500*sim.Millisecond), func() {
+		link.Send("verifier", "prv", MsgCollect, nil)
+	})
+	r.k.At(sim.Time(4200*sim.Millisecond), func() {
+		link.Send("verifier", "prv", MsgChallenge, []byte("fresh-nonce"))
+	})
+	r.k.RunUntil(sim.Time(6 * sim.Second))
+	e.Stop()
+	r.k.Run()
+
+	if len(collected) != 3 {
+		t.Fatalf("collected %d reports, want 3 (t=1,2,3s)", len(collected))
+	}
+	if len(onDemand) != 1 {
+		t.Fatalf("on-demand reports = %d, want 1", len(onDemand))
+	}
+	if string(onDemand[0].Nonce) != "fresh-nonce" {
+		t.Fatal("on-demand report not bound to challenge nonce")
+	}
+}
+
+func TestSeEDScheduleDeterministicAndJittered(t *testing.T) {
+	seed := []byte("shared-seed")
+	base, jitter := 10*sim.Second, 5*sim.Second
+	var prev sim.Time
+	distinct := false
+	var first sim.Duration
+	for i := uint64(1); i <= 10; i++ {
+		tt := TriggerTime(seed, i, 0, base, jitter)
+		if tt <= prev {
+			t.Fatalf("trigger %d at %v not after %v", i, tt, prev)
+		}
+		d := tt.Sub(prev)
+		if d < base || d >= base+jitter {
+			t.Fatalf("gap %d = %v outside [base, base+jitter)", i, d)
+		}
+		if i == 1 {
+			first = d
+		} else if d != first {
+			distinct = true
+		}
+		prev = tt
+	}
+	if !distinct {
+		t.Fatal("schedule has no jitter")
+	}
+	// Determinism.
+	if TriggerTime(seed, 5, 0, base, jitter) != TriggerTime(seed, 5, 0, base, jitter) {
+		t.Fatal("TriggerTime not deterministic")
+	}
+	if ScheduleDelay(seed, 1, base, 0) != base {
+		t.Fatal("zero jitter should return base")
+	}
+}
+
+func TestSeEDProverFiresOnSchedule(t *testing.T) {
+	r := newRig(t, 2048, 256)
+	link := channel.New(channel.Config{Kernel: r.k})
+	seed := []byte("s33d")
+	p, err := NewSeED("prv", r.dev, link, Preset(NoLock, suite.SHA256), seed, sim.Second, 500*sim.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*Report
+	link.Connect("verifier", func(m channel.Message) {
+		if m.Kind == MsgSeedReport {
+			got = append(got, m.Payload.([]*Report)...)
+		}
+	})
+	p.Start()
+	r.k.RunUntil(sim.Time(10 * sim.Second))
+	p.Stop()
+	r.k.Run()
+
+	if len(got) < 5 {
+		t.Fatalf("only %d reports in 10s with ~1-1.5s period", len(got))
+	}
+	if p.Sent != len(got) {
+		t.Fatalf("Sent=%d but received %d", p.Sent, len(got))
+	}
+	for i, rep := range got {
+		if rep.Counter != uint64(i+1) {
+			t.Fatalf("report %d counter %d", i, rep.Counter)
+		}
+		// t_s must track the seed-derived schedule (within MP setup
+		// slack).
+		want := TriggerTime(seed, rep.Counter, 0, sim.Second, 500*sim.Millisecond)
+		// Schedule is relative to previous *completion*; so trigger i
+		// shifts by accumulated measurement time. Just check nonces.
+		_ = want
+		if string(rep.Nonce) != string(PRF(seed, "seed-nonce", rep.Counter)) {
+			t.Fatalf("report %d nonce not seed-derived", i)
+		}
+	}
+}
+
+func TestSeEDOnTriggerLeak(t *testing.T) {
+	r := newRig(t, 2048, 256)
+	link := channel.New(channel.Config{Kernel: r.k})
+	link.Connect("verifier", func(channel.Message) {})
+	p, _ := NewSeED("prv", r.dev, link, Preset(NoLock, suite.SHA256), []byte("s"), sim.Second, 0, 5)
+	var leaks []sim.Time
+	p.OnTrigger = func(ctr uint64, at sim.Time) { leaks = append(leaks, at) }
+	p.Start()
+	r.k.RunUntil(sim.Time(3500 * sim.Millisecond))
+	p.Stop()
+	r.k.Run()
+	if len(leaks) < 2 {
+		t.Fatalf("leak hook fired %d times", len(leaks))
+	}
+	if p.Counter() == 0 {
+		t.Fatal("no triggers fired")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"saferatt/internal/suite"
+)
+
+// CSV exports for the plot-worthy series, so the figures can be
+// redrawn with any plotting tool: each writer emits one header row and
+// one record per data point.
+
+// Fig2CSV writes the Figure 2 timing series (seconds per algorithm per
+// size).
+func Fig2CSV(w io.Writer, points []Fig2Point) error {
+	cw := csv.NewWriter(w)
+	header := []string{"bytes"}
+	for _, h := range suite.HashIDs() {
+		header = append(header, string(h))
+	}
+	for _, s := range suite.SignerIDs() {
+		header = append(header, "SHA-256+"+string(s))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		rec := []string{strconv.Itoa(pt.Size)}
+		for _, h := range suite.HashIDs() {
+			rec = append(rec, fmt.Sprintf("%.9f", pt.HashTimes[h].Seconds()))
+		}
+		for _, s := range suite.SignerIDs() {
+			rec = append(rec, fmt.Sprintf("%.9f", pt.SigTimes[s].Seconds()))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// E6CSV writes the SMARM escape-probability sweep.
+func E6CSV(w io.Writer, rows []E6Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"blocks", "rounds", "trials", "simulated", "analytic"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Blocks), strconv.Itoa(r.Rounds), strconv.Itoa(r.Trials),
+			fmt.Sprintf("%.6f", r.MCRate), fmt.Sprintf("%.6f", r.Analytic),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// E7CSV writes the Figure 5 QoA sweep.
+func E7CSV(w io.Writer, rows []E7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tm_seconds", "dwell_seconds", "trials", "simulated", "analytic"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%.3f", r.TM.Seconds()), fmt.Sprintf("%.3f", r.Dwell.Seconds()),
+			strconv.Itoa(r.Trials),
+			fmt.Sprintf("%.6f", r.MCRate), fmt.Sprintf("%.6f", r.Analytic),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// E5CSV writes the fire-alarm latency sweep.
+func E5CSV(w io.Writer, rows []E5Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mechanism", "bytes", "mp_seconds", "alarm_latency_seconds", "deadline_met", "source"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		src := "simulated"
+		if r.Analytic {
+			src = "analytic"
+		}
+		if err := cw.Write([]string{
+			string(r.Mechanism), strconv.Itoa(r.MemBytes),
+			fmt.Sprintf("%.6f", r.MeasureTime.Seconds()),
+			fmt.Sprintf("%.6f", r.AlarmLatency.Seconds()),
+			strconv.FormatBool(r.DeadlineMet), src,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"saferatt/internal/core"
+	"saferatt/internal/malware"
+	"saferatt/internal/qoa"
+	"saferatt/internal/suite"
+)
+
+// E6Row compares the simulated SMARM escape rate against the paper's
+// closed form for one (blocks, rounds) point.
+type E6Row struct {
+	Blocks   int
+	Rounds   int
+	Trials   int
+	Escaped  int
+	MCRate   float64
+	Analytic float64
+	CI       float64 // 95% binomial half-width around the analytic value
+}
+
+// E6Config parameterizes the sweep.
+type E6Config struct {
+	BlockCounts []int // default {16, 32, 64}
+	Rounds      []int // default {1, 2, 3, 5, 8, 13}
+	Trials      int   // default 200
+	BlockSize   int   // default 64
+	Seed        uint64
+}
+
+func (c *E6Config) setDefaults() {
+	if c.BlockCounts == nil {
+		c.BlockCounts = []int{16, 32, 64}
+	}
+	if c.Rounds == nil {
+		c.Rounds = []int{1, 2, 3, 5, 8, 13}
+	}
+	if c.Trials == 0 {
+		c.Trials = 200
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+}
+
+// E6SMARM runs the full device-level Monte Carlo: optimal roving
+// malware against shuffled measurement, real crypto deciding detection.
+func E6SMARM(cfg E6Config) []E6Row {
+	cfg.setDefaults()
+	var rows []E6Row
+	for _, n := range cfg.BlockCounts {
+		for _, k := range cfg.Rounds {
+			rows = append(rows, e6Point(cfg, n, k))
+		}
+	}
+	return rows
+}
+
+func e6Point(cfg E6Config, blocks, rounds int) E6Row {
+	opts := core.Preset(core.SMARM, suite.SHA256)
+	opts.Rounds = rounds
+	escaped := 0
+	for i := 0; i < cfg.Trials; i++ {
+		seed := cfg.Seed + uint64(i)*104729 + uint64(blocks*rounds)
+		w := NewWorld(WorldConfig{Seed: seed, MemSize: blocks * cfg.BlockSize,
+			BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+		mw := malware.NewSelfRelocating(w.Dev, malwarePrio, seed^0xabcdef)
+		mustInfect(w, mw.Infect, int(seed>>3)%(blocks-1)+1)
+		nonce := []byte{byte(i), byte(i >> 8), byte(blocks), byte(rounds)}
+		reports := w.RunSessionToEnd(opts, nonce, mpPrio, mw.Hooks())
+		ok := true
+		for _, rep := range reports {
+			if !w.VerifyLocally(rep, true) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			escaped++
+		}
+	}
+	// The malware roves over the writable blocks only (ROM is not a
+	// hideout), so the effective n for the closed form is blocks-ROM.
+	analytic := qoa.SMARMEscape(blocks-1, rounds)
+	return E6Row{
+		Blocks:   blocks,
+		Rounds:   rounds,
+		Trials:   cfg.Trials,
+		Escaped:  escaped,
+		MCRate:   float64(escaped) / float64(cfg.Trials),
+		Analytic: analytic,
+		CI:       qoa.BinomialCI(analytic, cfg.Trials),
+	}
+}
+
+// RenderE6 prints the comparison table.
+func RenderE6(rows []E6Row) string {
+	var b strings.Builder
+	b.WriteString("E6 (§3.2): SMARM escape probability — device-level Monte Carlo vs (1-1/n)^(nk)\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-8s %10s %10s %10s\n", "blocks", "rounds", "trials", "simulated", "analytic", "95% CI")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %-8d %-8d %10.4f %10.4f %10.4f\n",
+			r.Blocks, r.Rounds, r.Trials, r.MCRate, r.Analytic, r.CI)
+	}
+	b.WriteString("paper anchors: single round ≈ e⁻¹ ≈ 0.368; ~13 rounds push escape below ~10⁻⁶\n")
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/malware"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+)
+
+// E8Result reproduces the §3.3 SeED analysis as three measured
+// properties.
+type E8Result struct {
+	// LossRows: false-positive "missing report" alarms as channel loss
+	// grows (SeED's unidirectional-channel caveat).
+	LossRows []E8LossRow
+	// ReplayInjected / ReplayAccepted: a recording adversary re-sends
+	// old reports; the counter check must reject all of them.
+	ReplayInjected int
+	ReplayAccepted int
+	// SecretEscapes / LeakedEscapes: transient malware trials against
+	// a secret schedule (detected ∝ dwell/period) vs a leaked schedule
+	// (malware erases itself just before each trigger: escapes).
+	ScheduleTrials int
+	SecretEscapes  int
+	LeakedEscapes  int
+}
+
+// E8LossRow is one loss-rate point.
+type E8LossRow struct {
+	Loss      float64
+	Triggers  int
+	Delivered int
+	Missing   int // watchdog alarms (false positives: device was honest)
+	Accepted  int
+}
+
+// E8Config parameterizes the run.
+type E8Config struct {
+	LossRates      []float64    // default 0, 0.05, 0.1, 0.2
+	Horizon        sim.Duration // schedule observation window, default 120s
+	Period         sim.Duration // SeED base period, default 5s
+	ScheduleTrials int          // default 40
+	Seed           uint64
+}
+
+func (c *E8Config) setDefaults() {
+	if c.LossRates == nil {
+		c.LossRates = []float64{0, 0.05, 0.1, 0.2}
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 120 * sim.Second
+	}
+	if c.Period == 0 {
+		c.Period = 5 * sim.Second
+	}
+	if c.ScheduleTrials == 0 {
+		c.ScheduleTrials = 40
+	}
+}
+
+// E8SeED runs all three SeED property experiments.
+func E8SeED(cfg E8Config) E8Result {
+	cfg.setDefaults()
+	res := E8Result{ScheduleTrials: cfg.ScheduleTrials}
+	for _, loss := range cfg.LossRates {
+		res.LossRows = append(res.LossRows, e8Loss(cfg, loss))
+	}
+	res.ReplayInjected, res.ReplayAccepted = e8Replay(cfg)
+	res.SecretEscapes, res.LeakedEscapes = e8Schedule(cfg)
+	return res
+}
+
+// e8Loss: honest prover, lossy channel; count watchdog false positives.
+func e8Loss(cfg E8Config, loss float64) E8LossRow {
+	opts := core.Preset(core.NoLock, suite.SHA256)
+	w := NewWorld(WorldConfig{Seed: cfg.Seed + uint64(loss*1000), MemSize: 4096,
+		BlockSize: 256, ROMBlocks: 1, Opts: opts, Loss: loss})
+	seed := []byte("e8-shared-seed")
+	p, err := core.NewSeED("prv", w.Dev, w.Link, opts, seed, cfg.Period, cfg.Period/2, mpPrio)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	mon := w.Ver.MonitorSeED("prv", seed, cfg.Period, cfg.Period/2, 0, 2*cfg.Period)
+	p.Start()
+	// Keep the prover alive through the watchdog settle window so the
+	// only "missing" alarms are genuine channel drops, not shutdown
+	// artifacts.
+	w.K.RunUntil(sim.Time(cfg.Horizon + 4*cfg.Period))
+	mon.Stop()
+	p.Stop()
+
+	c := w.Ver.Counts()
+	return E8LossRow{
+		Loss:      loss,
+		Triggers:  int(p.Counter()),
+		Delivered: w.Link.Stats().Delivered,
+		Missing:   c.Missing,
+		Accepted:  c.Accepted,
+	}
+}
+
+// e8Replay: a recording adversary replays every report once.
+func e8Replay(cfg E8Config) (injected, accepted int) {
+	opts := core.Preset(core.NoLock, suite.SHA256)
+	var w *World
+	var captured []any
+	adv := channel.AdversaryFunc(func(m channel.Message) channel.Verdict {
+		if m.Kind == core.MsgSeedReport && m.From == "prv" {
+			captured = append(captured, m.Payload)
+		}
+		return channel.Deliver
+	})
+	w = NewWorld(WorldConfig{Seed: cfg.Seed + 5, MemSize: 4096, BlockSize: 256,
+		ROMBlocks: 1, Opts: opts, Adv: adv})
+	seed := []byte("e8-shared-seed")
+	p, err := core.NewSeED("prv", w.Dev, w.Link, opts, seed, cfg.Period, cfg.Period/2, mpPrio)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	mon := w.Ver.MonitorSeED("prv", seed, cfg.Period, cfg.Period/2, 0, 2*cfg.Period)
+	p.Start()
+	w.K.RunUntil(sim.Time(cfg.Horizon / 2))
+	p.Stop()
+	mon.Stop()
+	w.K.Run()
+
+	before := w.Ver.Counts()
+	for _, payload := range captured {
+		w.Link.Send("prv", "verifier", core.MsgSeedReport, payload)
+	}
+	w.K.Run()
+	after := w.Ver.Counts()
+	return len(captured), after.Accepted - before.Accepted
+}
+
+// e8Schedule: transient malware with a fixed dwell per period. With
+// the schedule secret it gambles on a random phase; with the schedule
+// leaked (OnTrigger) it self-erases just before each trigger and
+// re-infects after, escaping every measurement.
+func e8Schedule(cfg E8Config) (secretEscapes, leakedEscapes int) {
+	run := func(trial int, leaked bool) bool /*escaped*/ {
+		opts := core.Preset(core.SMART, suite.SHA256)
+		w := NewWorld(WorldConfig{Seed: cfg.Seed + uint64(trial)*31 + boolU64(leaked),
+			MemSize: 4096, BlockSize: 256, ROMBlocks: 1, Opts: opts})
+		seed := []byte{byte(trial), 0x88}
+		p, err := core.NewSeED("prv", w.Dev, w.Link, opts, seed, cfg.Period, cfg.Period/2, mpPrio)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		var reports []*core.Report
+		w.Link.Connect("verifier", func(m channel.Message) {
+			if m.Kind == core.MsgSeedReport {
+				reports = append(reports, m.Payload.([]*core.Report)...)
+			}
+		})
+
+		mw := malware.NewTransient(w.Dev, malwarePrio)
+		block := 1 + trial%14
+		if leaked {
+			// §3.3 pitfall: software knows the attestation time;
+			// malware disinfects just before and reappears after.
+			p.OnTrigger = func(ctr uint64, at sim.Time) {
+				w.K.At(at-sim.Time(50*sim.Millisecond), func() { mw.Erase() })
+				w.K.At(at.Add(2*sim.Second), func() {
+					mw.Task().Submit(sim.Microsecond, func() { _ = mw.Infect(block) })
+				})
+			}
+		}
+		// Initial infection with a dwell of 60% of the period,
+		// repeating each period (persistent-but-hiding malware).
+		if !leaked {
+			dwell := cfg.Period * 6 / 10
+			for k := 0; k < 8; k++ {
+				t0 := sim.Time(cfg.Period * sim.Duration(k))
+				mw.ScheduleDwell(block, t0.Add(sim.Duration(trial%5)*cfg.Period/5), t0.Add(sim.Duration(trial%5)*cfg.Period/5+dwell))
+			}
+		} else {
+			mw.Task().Submit(sim.Microsecond, func() { _ = mw.Infect(block) })
+		}
+
+		p.Start()
+		w.K.RunUntil(sim.Time(8 * cfg.Period))
+		p.Stop()
+		w.K.Run()
+
+		for _, rep := range reports {
+			if !w.VerifyLocally(rep, false) {
+				return false // detected
+			}
+		}
+		return true
+	}
+
+	for i := 0; i < cfg.ScheduleTrials; i++ {
+		if run(i, false) {
+			secretEscapes++
+		}
+		if run(i, true) {
+			leakedEscapes++
+		}
+	}
+	return secretEscapes, leakedEscapes
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RenderE8 prints the SeED property tables.
+func RenderE8(r E8Result) string {
+	var b strings.Builder
+	b.WriteString("E8 (§3.3): SeED non-interactive attestation properties\n")
+	b.WriteString("loss sweep (honest device; 'missing' = watchdog false positives):\n")
+	fmt.Fprintf(&b, "  %-8s %-10s %-10s %-10s %-10s\n", "loss", "triggers", "delivered", "accepted", "missing")
+	for _, row := range r.LossRows {
+		fmt.Fprintf(&b, "  %-8.2f %-10d %-10d %-10d %-10d\n",
+			row.Loss, row.Triggers, row.Delivered, row.Accepted, row.Missing)
+	}
+	fmt.Fprintf(&b, "replay: %d injected, %d accepted (monotonic counter)\n",
+		r.ReplayInjected, r.ReplayAccepted)
+	fmt.Fprintf(&b, "schedule secrecy (%d trials): transient escapes %d with secret schedule, %d with leaked schedule\n",
+		r.ScheduleTrials, r.SecretEscapes, r.LeakedEscapes)
+	return b.String()
+}

@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper
+// as data (see DESIGN.md §4 for the experiment index):
+//
+//	E1 Figure 1  — on-demand RA timeline
+//	E2 Figure 2  — hash & signature timings vs memory size
+//	E3 Table 1   — solution feature matrix, measured
+//	E4 Figure 4  — temporal-consistency windows per lock policy
+//	E5 §2.5      — fire-alarm latency under each mechanism
+//	E6 §3.2      — SMARM escape probability, Monte Carlo vs analytic
+//	E7 Figure 5  — QoA: transient-malware detection vs T_M and dwell
+//	E8 §3.3      — SeED: loss, replay, schedule secrecy
+//	E9 §2.1      — software-based RA: redirection vs timing thresholds
+//	A1–A5        — ablations (block count, lock granularity, scheduling,
+//	               swarm scale, device class)
+//
+// Each experiment returns structured rows plus a Render* helper that
+// prints the same table the CLI and benchmarks report.
+package experiments
+
+import (
+	"bytes"
+	"math/rand/v2"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/costmodel"
+	"saferatt/internal/device"
+	"saferatt/internal/mem"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+	"saferatt/internal/trace"
+	"saferatt/internal/verifier"
+)
+
+// World is a fully wired single-prover universe: device, link,
+// verifier, golden image.
+type World struct {
+	K    *sim.Kernel
+	Mem  *mem.Memory
+	Dev  *device.Device
+	Link *channel.Link
+	Ver  *verifier.Verifier
+	Ref  []byte
+	Log  *trace.Log
+}
+
+// WorldConfig parameterizes NewWorld.
+type WorldConfig struct {
+	Seed      uint64
+	MemSize   int // default 4096
+	BlockSize int // default 256
+	ROMBlocks int // default 1
+	Opts      core.Options
+	Latency   sim.Duration
+	Jitter    sim.Duration
+	Loss      float64
+	Adv       channel.Adversary
+	Profile   *costmodel.Profile // default ODROIDXU4
+}
+
+// NewWorld builds a World. It panics on wiring errors: experiment
+// configurations are code, not user input.
+func NewWorld(cfg WorldConfig) *World {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 4096
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 256
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = costmodel.ODROIDXU4()
+	}
+	k := sim.NewKernel()
+	m := mem.New(mem.Config{
+		Size: cfg.MemSize, BlockSize: cfg.BlockSize, ROMBlocks: cfg.ROMBlocks,
+		Clock: k.Now, LogWrites: true,
+	})
+	m.FillRandom(rand.New(rand.NewPCG(cfg.Seed, 0xfade)))
+	log := &trace.Log{}
+	dev := device.New(device.Config{Kernel: k, Mem: m, Profile: cfg.Profile, Trace: log})
+	link := channel.New(channel.Config{
+		Kernel: k, Latency: cfg.Latency, Jitter: cfg.Jitter, Loss: cfg.Loss,
+		Adv: adversaryOrNil(cfg.Adv), Trace: log, Seed: cfg.Seed + 1,
+	})
+	ref := m.Snapshot()
+	v, err := verifier.New(verifier.Config{
+		Kernel: k, Link: link,
+		Scheme:  suite.Scheme{Hash: cfg.Opts.Hash, Key: dev.AttestationKey},
+		PermKey: dev.AttestationKey,
+		Ref:     ref,
+		Opts:    cfg.Opts,
+		Trace:   log,
+	})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return &World{K: k, Mem: m, Dev: dev, Link: link, Ver: v, Ref: ref, Log: log}
+}
+
+func adversaryOrNil(a channel.Adversary) channel.Adversary { return a }
+
+// VerifyLocally recomputes the expected tag for a report against the
+// world's golden image without going through the link — the
+// ground-truth detection check used by Monte Carlo experiments.
+func (w *World) VerifyLocally(rep *core.Report, shuffled bool) bool {
+	scheme := suite.Scheme{Hash: suite.SHA256, Key: w.Dev.AttestationKey}
+	order := core.DeriveOrder(w.Dev.AttestationKey, rep.Nonce, rep.Round, w.Mem.NumBlocks(), shuffled)
+	var buf bytes.Buffer
+	core.ExpectedStream(&buf, w.Ref, w.Mem.BlockSize(), rep.Nonce, rep.Round, order)
+	ok, err := scheme.VerifyTag(&buf, rep.Tag)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return ok
+}
+
+// RunSessionToEnd executes one measurement session synchronously in
+// virtual time and returns its reports.
+func (w *World) RunSessionToEnd(opts core.Options, nonce []byte, prio int, hooks core.Hooks) []*core.Report {
+	task := w.Dev.NewTask("mp", prio)
+	s, err := core.NewSession(w.Dev, task, opts, nonce, 1)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	s.Hooks = hooks
+	var out []*core.Report
+	s.Start(func(reports []*core.Report, err error) {
+		if err != nil {
+			panic("experiments: session: " + err.Error())
+		}
+		out = reports
+	})
+	w.K.Run()
+	return out
+}

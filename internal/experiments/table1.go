@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"saferatt/internal/core"
+	"saferatt/internal/malware"
+	"saferatt/internal/mem"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+)
+
+// Table1Row is one measured row of the paper's Table 1. Where the
+// paper prints ✓/✗ judgments, this experiment prints the measured
+// quantities those judgments summarize.
+type Table1Row struct {
+	Mechanism core.MechanismID
+
+	// SelfRelocEscape and TransientEscape are adversary escape rates
+	// over the Monte Carlo trials (paper's ✓ detection ⇔ rate ≈ 0).
+	SelfRelocEscape float64
+	TransientEscape float64
+
+	// Availability is the fraction of timely, successful writes a
+	// high-priority application achieved while a measurement ran
+	// (captures both lock denials and CPU starvation).
+	Availability float64
+
+	// ConsistentAtTS / ConsistentAtTE report whether a measurement
+	// taken while a concurrent writer ran is temporally consistent
+	// with memory at t_s / t_e (Fig. 4 semantics).
+	ConsistentAtTS bool
+	ConsistentAtTE bool
+
+	// PreemptLatency is the worst wait of a top-priority application
+	// step submitted mid-measurement.
+	PreemptLatency sim.Duration
+
+	// Overhead is the measurement duration relative to the SMART
+	// baseline (1.0 = identical).
+	Overhead float64
+
+	// Static architectural properties (not measurable from one run).
+	Unattended bool
+	ExtraHW    string
+
+	Trials int
+}
+
+// Table1Config parameterizes the matrix.
+type Table1Config struct {
+	Blocks      int    // default 32
+	BlockSize   int    // default 256
+	Trials      int    // Monte Carlo trials per adversary cell, default 20
+	SMARMRounds int    // default 13 (the paper's prescription)
+	Seed        uint64 // base randomness seed
+}
+
+func (c *Table1Config) setDefaults() {
+	if c.Blocks == 0 {
+		c.Blocks = 32
+	}
+	if c.BlockSize == 0 {
+		// Block time must dominate context-switch cost or the probe
+		// workloads below would saturate the CPU: 4 KiB at 7 ns/B is
+		// ~29 us per block vs 5 us per switch.
+		c.BlockSize = 4096
+	}
+	if c.Trials == 0 {
+		c.Trials = 20
+	}
+	if c.SMARMRounds == 0 {
+		c.SMARMRounds = 13
+	}
+}
+
+// extraHW mirrors Table 1's "Extra HW Requirements" column.
+var extraHW = map[core.MechanismID]string{
+	core.SMART:      "ROM + key access control (baseline)",
+	core.HYDRA:      "MMU + verified microkernel",
+	core.NoLock:     "baseline",
+	core.AllLock:    "dynamically configurable MPU/MMU",
+	core.AllLockExt: "dynamically configurable MPU/MMU",
+	core.DecLock:    "dynamically configurable MPU/MMU",
+	core.IncLock:    "dynamically configurable MPU/MMU",
+	core.IncLockExt: "dynamically configurable MPU/MMU",
+	core.SMARM:      "none (optionally secure memory)",
+	core.Erasmus:    "secure clock",
+	core.SeED:       "secure clock + timeout circuit",
+}
+
+const (
+	appPrio     = 100
+	mpPrio      = 5
+	malwarePrio = 50 // compromised software outranks MP, not the app
+)
+
+// Table1 measures the feature matrix. Rows cover every on-demand
+// mechanism plus an ERASMUS row whose measurement core is atomic (as in
+// the ERASMUS paper) and whose transient-detection value comes from the
+// scheduled-measurement geometry (dwell > T_M ⇒ certain detection; see
+// E7 for the full sweep).
+func Table1(cfg Table1Config) []Table1Row {
+	cfg.setDefaults()
+	var rows []Table1Row
+
+	baseline := measureDuration(cfg, core.Preset(core.SMART, suite.SHA256))
+	for _, id := range core.Mechanisms() {
+		opts := core.Preset(id, suite.SHA256)
+		if id == core.SMARM {
+			opts.Rounds = cfg.SMARMRounds
+		}
+		mpPriority := mpPrio
+		if id == core.HYDRA {
+			mpPriority = 1000 // HYDRA: MP outranks everything
+		}
+		row := Table1Row{
+			Mechanism:  id,
+			Unattended: false,
+			ExtraHW:    extraHW[id],
+			Trials:     cfg.Trials,
+		}
+		row.SelfRelocEscape = escapeRate(cfg, opts, mpPriority, func(w *World, seed uint64) core.Hooks {
+			mw := malware.NewSelfRelocating(w.Dev, malwarePrio, seed)
+			mustInfect(w, mw.Infect, int(seed)%(cfg.Blocks-1)+1)
+			return mw.Hooks()
+		})
+		row.TransientEscape = escapeRate(cfg, opts, mpPriority, func(w *World, seed uint64) core.Hooks {
+			mw := malware.NewTransient(w.Dev, malwarePrio)
+			mw.EraseOnMeasureStart = true
+			mustInfect(w, mw.Infect, int(seed)%(cfg.Blocks-1)+1)
+			return mw.Hooks()
+		})
+		row.Availability = availability(cfg, opts, mpPriority)
+		row.ConsistentAtTS, row.ConsistentAtTE = consistency(cfg, opts, mpPriority)
+		row.PreemptLatency = preemptLatency(cfg, opts, mpPriority)
+		row.Overhead = float64(measureDuration(cfg, opts)) / float64(baseline)
+		rows = append(rows, row)
+	}
+
+	rows = append(rows, erasmusRow(cfg, baseline))
+	return rows
+}
+
+func mustInfect(w *World, infect func(int) error, block int) {
+	if err := infect(block); err != nil {
+		panic("experiments: infect: " + err.Error())
+	}
+}
+
+// escapeRate runs Monte Carlo trials of one adversary against one
+// mechanism; returns the fraction of trials where every round verified
+// clean (the adversary escaped).
+func escapeRate(cfg Table1Config, opts core.Options, mpPriority int, plant func(*World, uint64) core.Hooks) float64 {
+	escapes := 0
+	for i := 0; i < cfg.Trials; i++ {
+		seed := cfg.Seed + uint64(i)*7919
+		w := NewWorld(WorldConfig{Seed: seed, MemSize: cfg.Blocks * cfg.BlockSize,
+			BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+		hooks := plant(w, seed)
+		nonce := []byte{byte(i), byte(i >> 8), 0x42}
+		reports := w.RunSessionToEnd(opts, nonce, mpPriority, hooks)
+		escaped := true
+		for _, rep := range reports {
+			if !w.VerifyLocally(rep, opts.Shuffled) {
+				escaped = false
+				break
+			}
+		}
+		if escaped {
+			escapes++
+		}
+	}
+	return float64(escapes) / float64(cfg.Trials)
+}
+
+// availability probes timely writability during one measurement: a
+// top-priority app attempts a small write to a cycling block every
+// half-block-time; a probe succeeds if the write is performed (not
+// lock-denied) within one block time of submission.
+func availability(cfg Table1Config, opts core.Options, mpPriority int) float64 {
+	w := NewWorld(WorldConfig{Seed: cfg.Seed + 1, MemSize: cfg.Blocks * cfg.BlockSize,
+		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+	blockTime := w.Dev.Profile.StreamTime(opts.Hash, cfg.BlockSize)
+	eps := 2*blockTime + 10*w.Dev.Profile.CtxSwitch
+
+	app := w.Dev.NewTask("prober", appPrio)
+	type probe struct {
+		submitted sim.Time
+		completed sim.Time
+		ok        bool
+	}
+	var probes []probe
+	measuring := true
+	next := 1
+	var tick func(sim.Time)
+	// Probe every two block-times: frequent enough to resolve the
+	// sliding-lock gradient, cheap enough (~20% CPU) that MP still
+	// progresses under preemption.
+	ticker := w.K.NewTicker(2*blockTime, func(now sim.Time) { tick(now) })
+	tick = func(now sim.Time) {
+		if !measuring {
+			return
+		}
+		idx := len(probes)
+		probes = append(probes, probe{submitted: now})
+		target := next%(cfg.Blocks-1) + 1
+		next++
+		app.Submit(sim.Microsecond, func() {
+			err := w.Mem.Write(target*cfg.BlockSize+8, []byte{0xA5})
+			probes[idx].completed = w.K.Now()
+			probes[idx].ok = err == nil
+		})
+	}
+
+	task := w.Dev.NewTask("mp", mpPriority)
+	s, err := core.NewSession(w.Dev, task, opts, []byte("avail"), 1)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	s.Start(func([]*core.Report, error) {
+		measuring = false
+		ticker.Stop()
+	})
+	w.K.Run()
+	s.Release()
+
+	timely := 0
+	for _, p := range probes {
+		if p.ok && p.completed.Sub(p.submitted) <= eps {
+			timely++
+		}
+	}
+	if len(probes) == 0 {
+		return 1
+	}
+	return float64(timely) / float64(len(probes))
+}
+
+// consistency runs a measurement while a concurrent high-priority
+// writer mutates memory, then judges the report against memory-at-t_s
+// and memory-at-t_e using the write log (Fig. 4 semantics).
+func consistency(cfg Table1Config, opts core.Options, mpPriority int) (atTS, atTE bool) {
+	w := NewWorld(WorldConfig{Seed: cfg.Seed + 2, MemSize: cfg.Blocks * cfg.BlockSize,
+		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+	blockTime := w.Dev.Profile.StreamTime(opts.Hash, cfg.BlockSize)
+
+	writer := w.Dev.NewTask("writer", appPrio)
+	next := 1
+	done := false
+	ticker := w.K.NewTicker(blockTime+blockTime/3, func(sim.Time) {
+		if done {
+			return
+		}
+		target := next%(cfg.Blocks-1) + 1
+		next += 7 // stride across memory
+		writer.Submit(sim.Microsecond, func() {
+			_ = w.Mem.Write(target*cfg.BlockSize+4, []byte{0x5C}) // may fault under locks
+		})
+	})
+
+	singleRound := opts
+	singleRound.Rounds = 1
+	task := w.Dev.NewTask("mp", mpPriority)
+	s, err := core.NewSession(w.Dev, task, singleRound, []byte("consis"), 1)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	var reports []*core.Report
+	s.Start(func(rr []*core.Report, err error) {
+		if err != nil {
+			panic("experiments: session: " + err.Error())
+		}
+		reports = rr
+		done = true
+		ticker.Stop()
+	})
+	w.K.Run()
+	s.Release()
+
+	rep := reports[0]
+	log := w.Mem.WriteLog()
+	return mem.ConsistentAt(log, rep.Coverage, rep.TS), mem.ConsistentAt(log, rep.Coverage, rep.TE)
+}
+
+// preemptLatency measures the worst wait of a top-priority application
+// step submitted one third of the way into a measurement.
+func preemptLatency(cfg Table1Config, opts core.Options, mpPriority int) sim.Duration {
+	w := NewWorld(WorldConfig{Seed: cfg.Seed + 3, MemSize: cfg.Blocks * cfg.BlockSize,
+		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+	app := w.Dev.NewTask("app", appPrio)
+
+	task := w.Dev.NewTask("mp", mpPriority)
+	singleRound := opts
+	singleRound.Rounds = 1
+	s, err := core.NewSession(w.Dev, task, singleRound, []byte("lat"), 1)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	fired := false
+	s.Hooks = core.Hooks{OnBlock: func(p core.Progress) {
+		if !fired && p.Count >= p.Total/3 {
+			fired = true
+			app.Submit(sim.Microsecond, nil)
+		}
+	}}
+	s.Start(func([]*core.Report, error) {})
+	w.K.Run()
+	s.Release()
+	return app.Stats().MaxWait
+}
+
+// measureDuration times one clean attestation session — all rounds, so
+// SMARM's k successive measurements show up as k× run-time overhead.
+func measureDuration(cfg Table1Config, opts core.Options) sim.Duration {
+	w := NewWorld(WorldConfig{Seed: cfg.Seed + 4, MemSize: cfg.Blocks * cfg.BlockSize,
+		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+	reports := w.RunSessionToEnd(opts, []byte("dur"), mpPrio, core.Hooks{})
+	return reports[len(reports)-1].TE.Sub(reports[0].TS)
+}
+
+// erasmusRow builds the self-measurement row: the measurement core is
+// atomic (SMART-like), so roving and start-time transient malware are
+// caught; scheduled-measurement geometry additionally catches dwell
+// windows longer than T_M (E7 sweeps this).
+func erasmusRow(cfg Table1Config, baseline sim.Duration) Table1Row {
+	inner := core.Preset(core.SMART, suite.SHA256)
+	row := Table1Row{
+		Mechanism:  core.Erasmus,
+		Unattended: true,
+		ExtraHW:    extraHW[core.Erasmus],
+		Trials:     cfg.Trials,
+	}
+	row.SelfRelocEscape = escapeRate(cfg, inner, mpPrio, func(w *World, seed uint64) core.Hooks {
+		mw := malware.NewSelfRelocating(w.Dev, malwarePrio, seed)
+		mustInfect(w, mw.Infect, int(seed)%(cfg.Blocks-1)+1)
+		return mw.Hooks()
+	})
+	// Transient malware with dwell > T_M is always caught by some
+	// scheduled measurement: measured in E7; here the geometric value.
+	row.TransientEscape = 0
+	row.Availability = availability(cfg, inner, mpPrio)
+	row.ConsistentAtTS, row.ConsistentAtTE = consistency(cfg, inner, mpPrio)
+	row.PreemptLatency = preemptLatency(cfg, inner, mpPrio)
+	row.Overhead = float64(measureDuration(cfg, inner)) / float64(baseline)
+	return row
+}
+
+// RenderTable1 prints the measured matrix.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1 (measured): adversary escape rates, availability, consistency, latency\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %7s %6s %6s %14s %9s %-36s\n",
+		"mechanism", "reloc-esc", "trans-esc", "avail", "consTS", "consTE", "preempt-lat", "overhead", "extra HW")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10.2f %10.2f %7.2f %6v %6v %14v %9.3f %-36s\n",
+			r.Mechanism, r.SelfRelocEscape, r.TransientEscape, r.Availability,
+			r.ConsistentAtTS, r.ConsistentAtTE, r.PreemptLatency, r.Overhead, r.ExtraHW)
+	}
+	return b.String()
+}

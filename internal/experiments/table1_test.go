@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+
+	"saferatt/internal/core"
+)
+
+// TestTable1MatchesPaper is the E3 acceptance test: the measured matrix
+// must reproduce every qualitative judgment of the paper's Table 1.
+func TestTable1MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow")
+	}
+	rows := Table1(Table1Config{Trials: 10, SMARMRounds: 13, Seed: 1})
+	byMech := map[core.MechanismID]Table1Row{}
+	for _, r := range rows {
+		byMech[r.Mechanism] = r
+	}
+
+	type expect struct {
+		relocDetect bool // escape rate ~0
+		transDetect bool
+		availHigh   bool // availability clearly above baseline-blocked
+		consTS      bool
+		consTE      bool
+	}
+	expected := map[core.MechanismID]expect{
+		core.SMART:      {relocDetect: true, transDetect: true, availHigh: false, consTS: true, consTE: true},
+		core.HYDRA:      {relocDetect: true, transDetect: true, availHigh: false, consTS: true, consTE: true},
+		core.NoLock:     {relocDetect: false, transDetect: false, availHigh: true, consTS: false, consTE: false},
+		core.AllLock:    {relocDetect: true, transDetect: true, availHigh: false, consTS: true, consTE: true},
+		core.AllLockExt: {relocDetect: true, transDetect: true, availHigh: false, consTS: true, consTE: true},
+		core.DecLock:    {relocDetect: true, transDetect: true, consTS: true, consTE: false},
+		core.IncLock:    {relocDetect: true, transDetect: false, consTS: false, consTE: true},
+		core.IncLockExt: {relocDetect: true, transDetect: false, consTS: false, consTE: true},
+		core.SMARM:      {relocDetect: true, transDetect: false, availHigh: true, consTS: false, consTE: false},
+		core.Erasmus:    {relocDetect: true, transDetect: true, availHigh: false, consTS: true, consTE: true},
+	}
+
+	for mech, want := range expected {
+		row, ok := byMech[mech]
+		if !ok {
+			t.Errorf("%s: missing row", mech)
+			continue
+		}
+		if got := row.SelfRelocEscape < 0.05; got != want.relocDetect {
+			t.Errorf("%s: self-reloc escape %.2f, want detect=%v", mech, row.SelfRelocEscape, want.relocDetect)
+		}
+		if got := row.TransientEscape < 0.05; got != want.transDetect {
+			t.Errorf("%s: transient escape %.2f, want detect=%v", mech, row.TransientEscape, want.transDetect)
+		}
+		if row.ConsistentAtTS != want.consTS {
+			t.Errorf("%s: consistent@t_s = %v, want %v", mech, row.ConsistentAtTS, want.consTS)
+		}
+		if row.ConsistentAtTE != want.consTE {
+			t.Errorf("%s: consistent@t_e = %v, want %v", mech, row.ConsistentAtTE, want.consTE)
+		}
+	}
+
+	// Availability ordering: interruptible-unlocked mechanisms beat
+	// locking ones, which beat fully blocking ones.
+	if byMech[core.NoLock].Availability < 0.9 {
+		t.Errorf("No-Lock availability %.2f, want ~1", byMech[core.NoLock].Availability)
+	}
+	if byMech[core.SMART].Availability > 0.2 {
+		t.Errorf("SMART availability %.2f, want ~0 (CPU blocked)", byMech[core.SMART].Availability)
+	}
+	if byMech[core.AllLock].Availability > 0.2 {
+		t.Errorf("All-Lock availability %.2f, want ~0 (locks)", byMech[core.AllLock].Availability)
+	}
+	dec := byMech[core.DecLock].Availability
+	if dec <= byMech[core.AllLock].Availability || dec >= byMech[core.NoLock].Availability {
+		t.Errorf("Dec-Lock availability %.2f should sit between All-Lock and No-Lock", dec)
+	}
+
+	// Interruptibility: SMART/HYDRA preemption latency spans ~the whole
+	// measurement; interruptible designs ~one block.
+	if byMech[core.SMART].PreemptLatency < 10*byMech[core.NoLock].PreemptLatency {
+		t.Errorf("SMART preempt latency %v vs No-Lock %v: atomic should dominate",
+			byMech[core.SMART].PreemptLatency, byMech[core.NoLock].PreemptLatency)
+	}
+	if byMech[core.HYDRA].PreemptLatency < 10*byMech[core.NoLock].PreemptLatency {
+		t.Errorf("HYDRA priority exclusion should block like SMART")
+	}
+
+	// Overhead: SMARM's 13 rounds cost ~13x the baseline.
+	if o := byMech[core.SMARM].Overhead; o < 11 || o > 16 {
+		t.Errorf("SMARM overhead %.1f, want ~13", o)
+	}
+	if o := byMech[core.NoLock].Overhead; o < 0.9 || o > 1.2 {
+		t.Errorf("No-Lock overhead %.2f, want ~1", o)
+	}
+
+	// Unattended: only the self-measurement row.
+	if !byMech[core.Erasmus].Unattended {
+		t.Error("ERASMUS row should be unattended")
+	}
+	if byMech[core.SMART].Unattended {
+		t.Error("SMART row should not be unattended")
+	}
+
+	if out := RenderTable1(rows); len(out) < 100 {
+		t.Error("render too short")
+	}
+}

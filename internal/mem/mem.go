@@ -1,0 +1,323 @@
+// Package mem models the attestable memory of a simple IoT prover.
+//
+// Memory is block structured: attestation mechanisms measure, lock and
+// release whole blocks, and the paper's lock policies (All-Lock,
+// Dec-Lock, Inc-Lock, ...) are expressed as per-block read-only locks
+// enforced by an MPU-like check on every write. A designated ROM region
+// holds the attestation code and key and is never writable by software,
+// mirroring SMART's hard-wired access-control rules.
+//
+// Every successful write is timestamped (and optionally logged), which
+// is what lets the verifier side reason about temporal consistency: a
+// measurement is consistent with memory at instant t iff no block was
+// written between the instant it was covered and t (paper §3.1, Fig. 4).
+package mem
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"saferatt/internal/sim"
+)
+
+// LockError reports a write denied by a block lock.
+type LockError struct {
+	Block int
+	Off   int
+}
+
+func (e *LockError) Error() string {
+	return fmt.Sprintf("mem: write to offset %d denied: block %d is locked", e.Off, e.Block)
+}
+
+// ROMError reports a write into the read-only ROM region.
+type ROMError struct {
+	Off int
+}
+
+func (e *ROMError) Error() string {
+	return fmt.Sprintf("mem: write to offset %d denied: ROM region", e.Off)
+}
+
+// BoundsError reports an out-of-range access.
+type BoundsError struct {
+	Off, Len, Size int
+}
+
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("mem: access [%d,%d) out of range [0,%d)", e.Off, e.Off+e.Len, e.Size)
+}
+
+// Write is one entry of the write log.
+type Write struct {
+	At    sim.Time
+	Block int
+	Off   int
+	Len   int
+}
+
+// Memory is block-structured attestable memory with MPU-style per-block
+// write locks.
+type Memory struct {
+	data      []byte
+	blockSize int
+	nblocks   int
+	locked    []bool
+	lastWrite []sim.Time
+	romBlocks int // blocks [0, romBlocks) are ROM
+	log       []Write
+	logOn     bool
+	faults    int
+	clock     func() sim.Time
+	guard     func(firstBlock, lastBlock int) error
+}
+
+// Config describes a Memory layout.
+type Config struct {
+	// Size is the total byte size. Must be a positive multiple of
+	// BlockSize.
+	Size int
+	// BlockSize is the lock/measurement granularity in bytes.
+	BlockSize int
+	// ROMBlocks is the number of leading blocks reserved as ROM
+	// (attestation code + key). May be zero.
+	ROMBlocks int
+	// Clock supplies timestamps for writes. If nil, all writes are
+	// stamped at time 0.
+	Clock func() sim.Time
+	// LogWrites enables the write log used for consistency analysis.
+	LogWrites bool
+}
+
+// New builds a zeroed Memory. It panics on a malformed Config, since a
+// bad layout is a programming error in an experiment definition.
+func New(cfg Config) *Memory {
+	if cfg.BlockSize <= 0 {
+		panic("mem: BlockSize must be positive")
+	}
+	if cfg.Size <= 0 || cfg.Size%cfg.BlockSize != 0 {
+		panic(fmt.Sprintf("mem: Size %d must be a positive multiple of BlockSize %d", cfg.Size, cfg.BlockSize))
+	}
+	n := cfg.Size / cfg.BlockSize
+	if cfg.ROMBlocks < 0 || cfg.ROMBlocks > n {
+		panic("mem: ROMBlocks out of range")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() sim.Time { return 0 }
+	}
+	return &Memory{
+		data:      make([]byte, cfg.Size),
+		blockSize: cfg.BlockSize,
+		nblocks:   n,
+		locked:    make([]bool, n),
+		lastWrite: make([]sim.Time, n),
+		romBlocks: cfg.ROMBlocks,
+		logOn:     cfg.LogWrites,
+		clock:     clock,
+	}
+}
+
+// Size returns the total byte size.
+func (m *Memory) Size() int { return len(m.data) }
+
+// BlockSize returns the block granularity in bytes.
+func (m *Memory) BlockSize() int { return m.blockSize }
+
+// NumBlocks returns the number of blocks.
+func (m *Memory) NumBlocks() int { return m.nblocks }
+
+// ROMBlocks returns the number of leading read-only ROM blocks.
+func (m *Memory) ROMBlocks() int { return m.romBlocks }
+
+// BlockOf returns the block index containing byte offset off.
+func (m *Memory) BlockOf(off int) int { return off / m.blockSize }
+
+// Block returns a read-only view of block i. Callers must not mutate
+// the returned slice; use WriteBlock for mutation so locks and
+// timestamps are honored.
+func (m *Memory) Block(i int) []byte {
+	m.checkBlock(i)
+	return m.data[i*m.blockSize : (i+1)*m.blockSize]
+}
+
+// Read copies len(dst) bytes starting at off into dst. Reads are never
+// blocked by locks (locks are read-only locks).
+func (m *Memory) Read(off int, dst []byte) error {
+	if off < 0 || off+len(dst) > len(m.data) {
+		return &BoundsError{Off: off, Len: len(dst), Size: len(m.data)}
+	}
+	copy(dst, m.data[off:])
+	return nil
+}
+
+// Write copies p into memory at off. It fails with *ROMError or
+// *LockError if any touched block is ROM or locked; a failed write
+// modifies nothing (writes are checked before any byte is stored) and
+// increments the fault counter.
+func (m *Memory) Write(off int, p []byte) error {
+	if off < 0 || off+len(p) > len(m.data) {
+		return &BoundsError{Off: off, Len: len(p), Size: len(m.data)}
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	first, last := m.BlockOf(off), m.BlockOf(off+len(p)-1)
+	if m.guard != nil {
+		if err := m.guard(first, last); err != nil {
+			m.faults++
+			return err
+		}
+	}
+	for b := first; b <= last; b++ {
+		if b < m.romBlocks {
+			m.faults++
+			return &ROMError{Off: off}
+		}
+		if m.locked[b] {
+			m.faults++
+			return &LockError{Block: b, Off: off}
+		}
+	}
+	copy(m.data[off:], p)
+	now := m.clock()
+	for b := first; b <= last; b++ {
+		m.lastWrite[b] = now
+	}
+	if m.logOn {
+		m.log = append(m.log, Write{At: now, Block: first, Off: off, Len: len(p)})
+	}
+	return nil
+}
+
+// WriteBlock overwrites block i with p (which must be exactly one block
+// long).
+func (m *Memory) WriteBlock(i int, p []byte) error {
+	m.checkBlock(i)
+	if len(p) != m.blockSize {
+		return fmt.Errorf("mem: WriteBlock: got %d bytes, want %d", len(p), m.blockSize)
+	}
+	return m.Write(i*m.blockSize, p)
+}
+
+// Poke stores a single byte at off, honoring locks.
+func (m *Memory) Poke(off int, v byte) error {
+	return m.Write(off, []byte{v})
+}
+
+// Lock makes block i read-only. Locking ROM or an already-locked block
+// is a no-op.
+func (m *Memory) Lock(i int) {
+	m.checkBlock(i)
+	m.locked[i] = true
+}
+
+// Unlock releases the lock on block i. ROM blocks stay read-only
+// regardless.
+func (m *Memory) Unlock(i int) {
+	m.checkBlock(i)
+	m.locked[i] = false
+}
+
+// LockAll locks every block.
+func (m *Memory) LockAll() {
+	for i := range m.locked {
+		m.locked[i] = true
+	}
+}
+
+// UnlockAll releases every lock.
+func (m *Memory) UnlockAll() {
+	for i := range m.locked {
+		m.locked[i] = false
+	}
+}
+
+// Locked reports whether block i is locked (ROM blocks report true).
+func (m *Memory) Locked(i int) bool {
+	m.checkBlock(i)
+	return i < m.romBlocks || m.locked[i]
+}
+
+// LockedCount returns the number of blocks currently write-protected,
+// including ROM.
+func (m *Memory) LockedCount() int {
+	n := m.romBlocks
+	for i := m.romBlocks; i < m.nblocks; i++ {
+		if m.locked[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Writable reports whether block i accepts writes right now.
+func (m *Memory) Writable(i int) bool { return !m.Locked(i) }
+
+// LastWrite returns the timestamp of the most recent successful write
+// touching block i (zero if never written).
+func (m *Memory) LastWrite(i int) sim.Time {
+	m.checkBlock(i)
+	return m.lastWrite[i]
+}
+
+// Faults returns the number of writes denied by locks or ROM protection.
+// This is the paper's "writable memory availability" cost made concrete:
+// every fault is a legitimate (or malicious) write the device could not
+// perform.
+func (m *Memory) Faults() int { return m.faults }
+
+// ResetFaults zeroes the fault counter and returns the previous value.
+func (m *Memory) ResetFaults() int {
+	f := m.faults
+	m.faults = 0
+	return f
+}
+
+// WriteLog returns the log of successful writes (nil unless LogWrites
+// was set).
+func (m *Memory) WriteLog() []Write { return m.log }
+
+// Snapshot returns a copy of the full memory contents.
+func (m *Memory) Snapshot() []byte {
+	s := make([]byte, len(m.data))
+	copy(s, m.data)
+	return s
+}
+
+// Restore overwrites memory contents from a snapshot, bypassing locks.
+// It models out-of-band re-provisioning by the verifier (paper §1:
+// "software can be re-set or rolled back") and is not reachable from
+// simulated software.
+func (m *Memory) Restore(s []byte) {
+	if len(s) != len(m.data) {
+		panic(fmt.Sprintf("mem: Restore: snapshot %d bytes, memory %d", len(s), len(m.data)))
+	}
+	copy(m.data, s)
+}
+
+// FillRandom fills all non-ROM memory with deterministic pseudorandom
+// content drawn from rng, bypassing locks. Used to provision benign
+// device state.
+func (m *Memory) FillRandom(rng *rand.Rand) {
+	for i := m.romBlocks * m.blockSize; i < len(m.data); i++ {
+		m.data[i] = byte(rng.Uint32())
+	}
+}
+
+// SetGuard installs an access-control hook consulted on every write
+// (before ROM and lock checks). A nil guard removes the hook. The
+// device layer uses this to model OS-enforced process isolation
+// (TyTAN/HYDRA designs); a guard rejection counts as a fault and the
+// returned error surfaces to the writer.
+func (m *Memory) SetGuard(g func(firstBlock, lastBlock int) error) { m.guard = g }
+
+// peek returns the raw backing store; used by attestation ROM code
+// (hashing reads) without copying.
+func (m *Memory) Raw() []byte { return m.data }
+
+func (m *Memory) checkBlock(i int) {
+	if i < 0 || i >= m.nblocks {
+		panic(fmt.Sprintf("mem: block %d out of range [0,%d)", i, m.nblocks))
+	}
+}

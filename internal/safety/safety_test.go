@@ -1,0 +1,196 @@
+package safety
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"saferatt/internal/core"
+	"saferatt/internal/costmodel"
+	"saferatt/internal/device"
+	"saferatt/internal/mem"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+	"saferatt/internal/trace"
+)
+
+func newDev(t testing.TB, size, blockSize int) (*device.Device, *sim.Kernel) {
+	t.Helper()
+	k := sim.NewKernel()
+	m := mem.New(mem.Config{Size: size, BlockSize: blockSize, ROMBlocks: 1, Clock: k.Now})
+	m.FillRandom(rand.New(rand.NewPCG(8, 8)))
+	d := device.New(device.Config{Kernel: k, Mem: m, Profile: costmodel.ODROIDXU4(), Trace: &trace.Log{}})
+	return d, k
+}
+
+func TestAlarmLatencyWithoutAttestation(t *testing.T) {
+	dev, k := newDev(t, 4096, 256)
+	fa := NewFireAlarm(dev, Config{Priority: 100, DataBlock: -1})
+	fa.Start()
+	fa.StartFire(sim.Time(2500 * sim.Millisecond))
+	k.RunUntil(sim.Time(5 * sim.Second))
+	fa.Stop()
+	k.Run()
+
+	if len(fa.Alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(fa.Alarms))
+	}
+	// Fire at 2.5s; next sensor pass at 3s: latency ~0.5s.
+	lat := fa.Alarms[0].Latency()
+	if lat < 499*sim.Millisecond || lat > 502*sim.Millisecond {
+		t.Fatalf("latency = %v, want ~0.5s", lat)
+	}
+	if fa.MissedDeadlines() != 0 {
+		t.Fatal("deadline missed on idle device")
+	}
+	if fa.Checks < 4 {
+		t.Fatalf("checks = %d", fa.Checks)
+	}
+}
+
+// The paper's §2.5 scenario: a fire during an atomic measurement is
+// answered only after t_e; an interruptible mechanism answers within
+// the sensor period.
+func TestAtomicAttestationDelaysAlarm(t *testing.T) {
+	run := func(mech core.MechanismID) sim.Duration {
+		// 64 MiB at SHA-256's 7 ns/B gives a ~470 ms measurement,
+		// several sensor periods long.
+		dev, k := newDev(t, 64<<20, 64<<10)
+		fa := NewFireAlarm(dev, Config{Priority: 100, DataBlock: -1, SensorPeriod: 100 * sim.Millisecond, Deadline: 100 * sim.Millisecond})
+		fa.Start()
+		task := dev.NewTask("mp", 1)
+		m, err := core.NewMeasurement(dev, task, core.Preset(mech, suite.SHA256), []byte("n"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measurement starts at 1s; fire breaks out at 1.05s, early in
+		// the ~450ms measurement.
+		k.At(sim.Time(sim.Second), func() { m.Start(func(*core.Report, error) {}) })
+		fa.StartFire(sim.Time(1050 * sim.Millisecond))
+		k.RunUntil(sim.Time(3 * sim.Second))
+		fa.Stop()
+		k.Run()
+		if len(fa.Alarms) != 1 {
+			t.Fatalf("%s: alarms = %d", mech, len(fa.Alarms))
+		}
+		return fa.Alarms[0].Latency()
+	}
+
+	atomic := run(core.SMART)
+	interruptible := run(core.NoLock)
+
+	// Under SMART the whole remaining measurement (~400ms) blocks the
+	// sensor pass; under No-Lock only ~one block (~0.5ms) plus the
+	// normal sensing phase.
+	if atomic < 300*sim.Millisecond {
+		t.Fatalf("atomic latency %v suspiciously low", atomic)
+	}
+	if interruptible > 150*sim.Millisecond {
+		t.Fatalf("interruptible latency %v too high", interruptible)
+	}
+	if atomic < 2*interruptible {
+		t.Fatalf("atomic (%v) should dominate interruptible (%v)", atomic, interruptible)
+	}
+}
+
+func TestWriteAvailabilityUnderAllLock(t *testing.T) {
+	dev, k := newDev(t, 1<<20, 16<<10)
+	// Fast sensor so several passes land inside the ~10.5ms lock
+	// window (SHA-512 over 1 MiB at 10 ns/B).
+	fa := NewFireAlarm(dev, Config{Priority: 100, DataBlock: 60, SensorPeriod: 2 * sim.Millisecond, CheckDur: 10 * sim.Microsecond})
+	fa.Start()
+	task := dev.NewTask("mp", 1)
+	m, err := core.NewMeasurement(dev, task, core.Preset(core.AllLock, suite.SHA512), []byte("n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.At(sim.Time(5*sim.Millisecond), func() { m.Start(func(*core.Report, error) {}) })
+	k.RunUntil(sim.Time(40 * sim.Millisecond))
+	fa.Stop()
+	k.Run()
+
+	if fa.WriteFaults == 0 {
+		t.Fatal("All-Lock produced no write faults for the running app")
+	}
+	if fa.WriteAvailability() >= 1 {
+		t.Fatal("availability should drop below 1 under All-Lock")
+	}
+	if fa.WriteAvailability() <= 0 {
+		t.Fatal("some writes outside the lock window must succeed")
+	}
+}
+
+func TestWriteAvailabilityFullUnderNoLock(t *testing.T) {
+	dev, k := newDev(t, 1<<20, 16<<10)
+	fa := NewFireAlarm(dev, Config{Priority: 100, DataBlock: 60, SensorPeriod: 2 * sim.Millisecond, CheckDur: 10 * sim.Microsecond})
+	fa.Start()
+	task := dev.NewTask("mp", 1)
+	m, _ := core.NewMeasurement(dev, task, core.Preset(core.NoLock, suite.SHA512), []byte("n"), 0)
+	k.At(sim.Time(5*sim.Millisecond), func() { m.Start(func(*core.Report, error) {}) })
+	k.RunUntil(sim.Time(40 * sim.Millisecond))
+	fa.Stop()
+	k.Run()
+	if fa.WriteFaults != 0 {
+		t.Fatalf("No-Lock write faults = %d, want 0", fa.WriteFaults)
+	}
+	if fa.WriteAvailability() != 1 {
+		t.Fatal("availability should be 1 under No-Lock")
+	}
+}
+
+func TestDecLockFavorsEarlyBlocksIncLockFavorsLateBlocks(t *testing.T) {
+	// Dec-Lock releases early blocks first; Inc-Lock keeps late blocks
+	// free longest. An app writing to block 1 (early) should fault
+	// less under Dec-Lock than under... actually: measure fault
+	// patterns for an early- and a late-block writer under both.
+	faults := func(mech core.MechanismID, block int) int {
+		dev, k := newDev(t, 1<<20, 16<<10)
+		fa := NewFireAlarm(dev, Config{Priority: 100, DataBlock: block, SensorPeriod: sim.Millisecond, CheckDur: 5 * sim.Microsecond})
+		fa.Start()
+		task := dev.NewTask("mp", 1)
+		m, _ := core.NewMeasurement(dev, task, core.Preset(mech, suite.SHA512), []byte("n"), 0)
+		k.At(0, func() { m.Start(func(*core.Report, error) {}) })
+		k.RunUntil(sim.Time(40 * sim.Millisecond))
+		fa.Stop()
+		k.Run()
+		return fa.WriteFaults
+	}
+
+	// Early block (1) vs late block (62) of 64.
+	decEarly, decLate := faults(core.DecLock, 1), faults(core.DecLock, 62)
+	incEarly, incLate := faults(core.IncLock, 1), faults(core.IncLock, 62)
+
+	if decEarly >= decLate {
+		t.Errorf("Dec-Lock: early-block faults (%d) should be fewer than late-block (%d)", decEarly, decLate)
+	}
+	if incLate >= incEarly {
+		t.Errorf("Inc-Lock: late-block faults (%d) should be fewer than early-block (%d)", incLate, incEarly)
+	}
+}
+
+func TestMultipleFires(t *testing.T) {
+	dev, k := newDev(t, 4096, 256)
+	fa := NewFireAlarm(dev, Config{Priority: 100, DataBlock: -1})
+	fa.Start()
+	fa.StartFire(sim.Time(1200 * sim.Millisecond))
+	fa.StartFire(sim.Time(3700 * sim.Millisecond))
+	k.RunUntil(sim.Time(6 * sim.Second))
+	fa.Stop()
+	k.Run()
+	if len(fa.Alarms) != 2 {
+		t.Fatalf("alarms = %d, want 2", len(fa.Alarms))
+	}
+	if fa.WorstLatency() > sim.Second {
+		t.Fatalf("worst latency %v", fa.WorstLatency())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	dev, _ := newDev(t, 4096, 256)
+	fa := NewFireAlarm(dev, Config{})
+	if fa.SensorPeriod != sim.Second || fa.Deadline != sim.Second || fa.CheckDur != 200*sim.Microsecond {
+		t.Fatalf("defaults: %v %v %v", fa.SensorPeriod, fa.Deadline, fa.CheckDur)
+	}
+	if fa.Task() == nil {
+		t.Fatal("no task")
+	}
+}

@@ -1,0 +1,226 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All of saferatt's device-level experiments run on virtual time: a
+// Kernel owns a monotonically non-decreasing clock and a priority queue
+// of events. Events scheduled for the same instant fire in scheduling
+// order, which makes every simulation bit-for-bit reproducible.
+//
+// The kernel is intentionally single-threaded: low-end IoT devices of
+// the kind studied in the paper have a single core, and determinism is a
+// design goal (see DESIGN.md §6).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of
+// milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (t Time) String() string { return fmt.Sprintf("t=%.6fs", float64(t)/float64(Second)) }
+
+func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
+
+// Event is a scheduled callback. It is returned by the scheduling
+// methods so callers can cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	kernel *Kernel
+}
+
+// At reports the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel removes the event from the kernel's queue. Cancelling an event
+// that already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.index < 0 || e.kernel == nil {
+		return
+	}
+	heap.Remove(&e.kernel.queue, e.index)
+	e.index = -1
+	e.fn = nil
+}
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event scheduler.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	steps uint64
+}
+
+// NewKernel returns a kernel with the clock at 0 and an empty queue.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Len returns the number of pending events.
+func (k *Kernel) Len() int { return len(k.queue) }
+
+// Steps returns the number of events dispatched so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero (run at the current instant, after already-queued events for this
+// instant).
+func (k *Kernel) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.At(k.now.Add(delay), fn)
+}
+
+// At queues fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the current instant.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, kernel: k}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Step dispatches the earliest pending event, advancing the clock to its
+// timestamp. It returns false if the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	k.now = e.at
+	k.steps++
+	fn := e.fn
+	e.fn = nil
+	fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= t, then advances the
+// clock to exactly t (even if no event fired there).
+func (k *Kernel) RunUntil(t Time) {
+	for len(k.queue) > 0 && k.queue[0].at <= t {
+		k.Step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
+
+// Ticker fires a callback periodically until stopped. It reschedules
+// itself after each firing, so callbacks see a consistent period even if
+// they take zero virtual time.
+type Ticker struct {
+	kernel *Kernel
+	period Duration
+	fn     func(Time)
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, first firing after one period.
+// Period must be positive.
+func (k *Kernel) NewTicker(period Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{kernel: k, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.kernel.Schedule(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn(t.kernel.Now())
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.ev.Cancel()
+}

@@ -1,0 +1,186 @@
+package softratt
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/costmodel"
+	"saferatt/internal/device"
+	"saferatt/internal/mem"
+	"saferatt/internal/sim"
+)
+
+const perAccess = 50 * sim.Nanosecond // honest per-iteration cost
+
+type softWorld struct {
+	k    *sim.Kernel
+	m    *mem.Memory
+	dev  *device.Device
+	link *channel.Link
+	v    *Verifier
+	ref  []byte
+}
+
+func newSoftWorld(t *testing.T, linkCfg channel.Config, rttBudget sim.Duration) *softWorld {
+	t.Helper()
+	k := sim.NewKernel()
+	m := mem.New(mem.Config{Size: 8192, BlockSize: 512, Clock: k.Now})
+	m.FillRandom(rand.New(rand.NewPCG(5, 5)))
+	dev := device.New(device.Config{Kernel: k, Mem: m, Profile: costmodel.ODROIDXU4()})
+	linkCfg.Kernel = k
+	link := channel.New(linkCfg)
+	ref := m.Snapshot()
+	v := NewVerifier("vrf", k, link, ref, perAccess, rttBudget)
+	return &softWorld{k: k, m: m, dev: dev, link: link, v: v, ref: ref}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	img := make([]byte, 4096)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range img {
+		img[i] = byte(rng.Uint32())
+	}
+	a := ComputeChecksum(img, 42, 10000)
+	if b := ComputeChecksum(img, 42, 10000); a != b {
+		t.Fatal("checksum not deterministic")
+	}
+	if b := ComputeChecksum(img, 43, 10000); a == b {
+		t.Fatal("checksum ignores seed")
+	}
+	if b := ComputeChecksum(img, 42, 10001); a == b {
+		t.Fatal("checksum ignores iteration count")
+	}
+	img[100] ^= 1
+	if b := ComputeChecksum(img, 42, 10000); a == b {
+		t.Fatal("checksum ignores content (single bit flip)")
+	}
+	// Empty image: defined, stable.
+	if ComputeChecksum(nil, 1, 100) != ComputeChecksum(nil, 1, 5) {
+		t.Fatal("empty-image checksum should ignore iterations")
+	}
+}
+
+func TestHonestProverAcceptedOnTime(t *testing.T) {
+	w := newSoftWorld(t, channel.Config{Latency: 2 * sim.Millisecond}, 5*sim.Millisecond)
+	NewProver("prv", w.dev, w.link, perAccess)
+	w.v.Challenge("prv", 100_000)
+	w.k.Run()
+	if len(w.v.Verdicts) != 1 {
+		t.Fatalf("verdicts: %+v", w.v.Verdicts)
+	}
+	vd := w.v.Verdicts[0]
+	if !vd.OK {
+		t.Fatalf("honest prover rejected: %+v", vd)
+	}
+	if vd.Elapsed <= 0 || vd.Elapsed > vd.Threshold {
+		t.Fatalf("timing: %+v", vd)
+	}
+}
+
+func TestWrongMemoryFailsChecksum(t *testing.T) {
+	w := newSoftWorld(t, channel.Config{}, sim.Millisecond)
+	NewProver("prv", w.dev, w.link, perAccess)
+	// Malware modifies memory and does NOT redirect: checksum breaks.
+	if err := w.m.Poke(3000, 0xEE); err != nil {
+		t.Fatal(err)
+	}
+	w.v.Challenge("prv", 100_000)
+	w.k.Run()
+	vd := w.v.Verdicts[0]
+	if vd.OK || vd.Reason != "checksum mismatch" {
+		t.Fatalf("verdict: %+v", vd)
+	}
+}
+
+// The Pioneer defense: malware that redirects reads to hidden clean
+// copies produces the RIGHT checksum but arrives LATE with a tight RTT
+// budget.
+func TestRedirectionCaughtByTiming(t *testing.T) {
+	w := newSoftWorld(t, channel.Config{Latency: sim.Millisecond}, 3*sim.Millisecond)
+	p := NewProver("prv", w.dev, w.link, perAccess)
+	// Infect memory, redirect checksum reads to the clean image at
+	// +40% per access.
+	if err := w.m.Poke(3000, 0xEE); err != nil {
+		t.Fatal(err)
+	}
+	p.AccessOverhead = perAccess * 4 / 10
+	clean := w.ref
+	p.Image = func() []byte { return clean }
+
+	// 1M iterations: overhead = 1e6 * 20ns = 20ms >> 3ms budget.
+	w.v.Challenge("prv", 1_000_000)
+	w.k.Run()
+	vd := w.v.Verdicts[0]
+	if vd.OK {
+		t.Fatalf("redirecting malware accepted: %+v", vd)
+	}
+	if vd.Reason == "checksum mismatch" {
+		t.Fatal("redirection should produce a correct checksum")
+	}
+}
+
+// The §2.1 attack: with a sloppy RTT budget (or too few iterations),
+// the redirection overhead hides inside the threshold.
+func TestRedirectionEscapesWithLooseThreshold(t *testing.T) {
+	w := newSoftWorld(t, channel.Config{Latency: sim.Millisecond}, 50*sim.Millisecond)
+	p := NewProver("prv", w.dev, w.link, perAccess)
+	if err := w.m.Poke(3000, 0xEE); err != nil {
+		t.Fatal(err)
+	}
+	p.AccessOverhead = perAccess * 4 / 10
+	clean := w.ref
+	p.Image = func() []byte { return clean }
+
+	// Overhead 20ms < 50ms budget: the attack slips through.
+	w.v.Challenge("prv", 1_000_000)
+	w.k.Run()
+	if !w.v.Verdicts[0].OK {
+		t.Fatalf("attack should escape a loose threshold: %+v", w.v.Verdicts[0])
+	}
+}
+
+// Iteration count is the verifier's lever: enough iterations amplify
+// any per-access overhead past any fixed jitter budget.
+func TestIterationsAmplifyOverhead(t *testing.T) {
+	detect := func(iterations int) bool {
+		w := newSoftWorld(t, channel.Config{Latency: sim.Millisecond}, 10*sim.Millisecond)
+		p := NewProver("prv", w.dev, w.link, perAccess)
+		p.AccessOverhead = perAccess / 10 // a careful 10% adversary
+		clean := w.ref
+		p.Image = func() []byte { return clean }
+		w.v.Challenge("prv", iterations)
+		w.k.Run()
+		return !w.v.Verdicts[0].OK
+	}
+	if detect(100_000) {
+		t.Fatal("100k iterations should NOT amplify 10% past a 10ms budget (0.5ms overhead)")
+	}
+	if !detect(5_000_000) {
+		t.Fatal("5M iterations should amplify 10% past a 10ms budget (25ms overhead)")
+	}
+}
+
+func TestChecksumRunsAtomically(t *testing.T) {
+	w := newSoftWorld(t, channel.Config{}, sim.Millisecond)
+	NewProver("prv", w.dev, w.link, perAccess)
+	app := w.dev.NewTask("app", 500)
+	var appRan sim.Time
+	w.k.At(sim.Time(100*sim.Microsecond), func() {
+		app.Submit(sim.Microsecond, func() { appRan = w.k.Now() })
+	})
+	w.v.Challenge("prv", 1_000_000) // 50ms of checksum
+	w.k.Run()
+	if appRan < sim.Time(50*sim.Millisecond) {
+		t.Fatalf("app ran at %v, inside the atomic checksum window", appRan)
+	}
+}
+
+func TestUnsolicitedResponseRejected(t *testing.T) {
+	w := newSoftWorld(t, channel.Config{}, sim.Millisecond)
+	w.link.Send("prv", "vrf", MsgSoftResponse, &Response{Seed: 123})
+	w.k.Run()
+	if len(w.v.Verdicts) != 1 || w.v.Verdicts[0].OK {
+		t.Fatalf("verdicts: %+v", w.v.Verdicts)
+	}
+}

@@ -1,0 +1,147 @@
+package suite
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"sync"
+)
+
+// Signer signs and verifies fixed-size digests. The digest is produced
+// separately by the scheme's hash (the standard hash-and-sign method of
+// §2.4); Sign and Verify cost is therefore independent of the attested
+// memory size — the fact Figure 2 illustrates.
+type Signer interface {
+	// Name identifies the algorithm and parameter, e.g. "RSA-2048".
+	Name() string
+	// Sign signs a message digest.
+	Sign(digest []byte) ([]byte, error)
+	// Verify checks a signature over a message digest.
+	Verify(digest, sig []byte) error
+}
+
+// SignerID names a supported signature scheme.
+type SignerID string
+
+// The signature schemes of the paper's Figure 2. The paper uses
+// ECDSA-160/224/256; P-160 is not a standard-library curve, so the
+// ECDSA set here is P-224/P-256/P-384 (see DESIGN.md §2 substitutions).
+const (
+	RSA1024  SignerID = "RSA-1024"
+	RSA2048  SignerID = "RSA-2048"
+	RSA4096  SignerID = "RSA-4096"
+	ECDSA224 SignerID = "ECDSA-P224"
+	ECDSA256 SignerID = "ECDSA-P256"
+	ECDSA384 SignerID = "ECDSA-P384"
+)
+
+// SignerIDs returns all supported signer identifiers in display order.
+func SignerIDs() []SignerID {
+	return []SignerID{RSA1024, RSA2048, RSA4096, ECDSA224, ECDSA256, ECDSA384}
+}
+
+type rsaSigner struct {
+	name string
+	key  *rsa.PrivateKey
+}
+
+func (s *rsaSigner) Name() string { return s.name }
+
+func (s *rsaSigner) Sign(digest []byte) ([]byte, error) {
+	h, err := pkcs1HashFor(len(digest))
+	if err != nil {
+		return nil, err
+	}
+	return rsa.SignPKCS1v15(rand.Reader, s.key, h, digest)
+}
+
+func (s *rsaSigner) Verify(digest, sig []byte) error {
+	h, err := pkcs1HashFor(len(digest))
+	if err != nil {
+		return err
+	}
+	return rsa.VerifyPKCS1v15(&s.key.PublicKey, h, digest, sig)
+}
+
+// pkcs1HashFor maps a digest length to the hash identifier PKCS#1 v1.5
+// embeds in the signature.
+func pkcs1HashFor(n int) (crypto.Hash, error) {
+	switch n {
+	case 32:
+		return crypto.SHA256, nil
+	case 64:
+		return crypto.SHA512, nil
+	default:
+		return 0, fmt.Errorf("suite: unsupported digest length %d for RSA", n)
+	}
+}
+
+type ecdsaSigner struct {
+	name string
+	key  *ecdsa.PrivateKey
+}
+
+func (s *ecdsaSigner) Name() string { return s.name }
+
+func (s *ecdsaSigner) Sign(digest []byte) ([]byte, error) {
+	return ecdsa.SignASN1(rand.Reader, s.key, digest)
+}
+
+func (s *ecdsaSigner) Verify(digest, sig []byte) error {
+	if !ecdsa.VerifyASN1(&s.key.PublicKey, digest, sig) {
+		return fmt.Errorf("suite: %s: invalid signature", s.name)
+	}
+	return nil
+}
+
+// Key generation — especially RSA-4096 — is expensive, so generated
+// signers are cached per algorithm for the process lifetime. The cache
+// models a device's factory-provisioned identity key.
+var (
+	signerMu    sync.Mutex
+	signerCache = map[SignerID]Signer{}
+)
+
+// NewSigner returns the (cached) signer for id, generating its key pair
+// on first use.
+func NewSigner(id SignerID) (Signer, error) {
+	signerMu.Lock()
+	defer signerMu.Unlock()
+	if s, ok := signerCache[id]; ok {
+		return s, nil
+	}
+	s, err := generateSigner(id)
+	if err != nil {
+		return nil, err
+	}
+	signerCache[id] = s
+	return s, nil
+}
+
+func generateSigner(id SignerID) (Signer, error) {
+	switch id {
+	case RSA1024, RSA2048, RSA4096:
+		bits := map[SignerID]int{RSA1024: 1024, RSA2048: 2048, RSA4096: 4096}[id]
+		key, err := rsa.GenerateKey(rand.Reader, bits)
+		if err != nil {
+			return nil, fmt.Errorf("suite: generating %s: %w", id, err)
+		}
+		return &rsaSigner{name: string(id), key: key}, nil
+	case ECDSA224, ECDSA256, ECDSA384:
+		curve := map[SignerID]elliptic.Curve{
+			ECDSA224: elliptic.P224(),
+			ECDSA256: elliptic.P256(),
+			ECDSA384: elliptic.P384(),
+		}[id]
+		key, err := ecdsa.GenerateKey(curve, rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("suite: generating %s: %w", id, err)
+		}
+		return &ecdsaSigner{name: string(id), key: key}, nil
+	default:
+		return nil, fmt.Errorf("suite: unknown signer %q", id)
+	}
+}

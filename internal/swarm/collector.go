@@ -1,0 +1,129 @@
+package swarm
+
+import (
+	"bytes"
+
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+)
+
+// NodeVerdict is the collector's decision about one swarm member.
+type NodeVerdict struct {
+	Node string
+	OK   bool
+	// Reason explains a rejection ("tag mismatch", "no reports",
+	// "wrong nonce").
+	Reason string
+}
+
+// SwarmResult summarizes one collective attestation round.
+type SwarmResult struct {
+	At       sim.Time
+	Verdicts map[string]NodeVerdict
+	// Missing lists registered nodes absent from the aggregate
+	// (unreachable or suppressed).
+	Missing []string
+}
+
+// Healthy reports whether every registered node was present and clean.
+func (r *SwarmResult) Healthy() bool {
+	if len(r.Missing) > 0 {
+		return false
+	}
+	for _, v := range r.Verdicts {
+		if !v.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Infected returns the names of nodes whose reports failed
+// verification.
+func (r *SwarmResult) Infected() []string {
+	var out []string
+	for name, v := range r.Verdicts {
+		if !v.OK {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Collector is the verifier side of collective attestation: it holds
+// each node's golden image and shared key and judges aggregates.
+type Collector struct {
+	hash    suite.HashID
+	keys    map[string][]byte
+	refs    map[string][]byte
+	geoms   map[string][2]int // blockSize, numBlocks
+	shuffle bool
+}
+
+// NewCollector builds an empty collector for the given measurement
+// hash.
+func NewCollector(hash suite.HashID) *Collector {
+	return &Collector{
+		hash:  hash,
+		keys:  map[string][]byte{},
+		refs:  map[string][]byte{},
+		geoms: map[string][2]int{},
+	}
+}
+
+// Register records a node's shared key and golden image. Call once per
+// swarm member before judging aggregates.
+func (c *Collector) Register(n *Node) {
+	c.keys[n.Name] = n.Dev.AttestationKey
+	c.refs[n.Name] = n.Dev.Mem.Snapshot()
+	c.geoms[n.Name] = [2]int{n.Dev.Mem.BlockSize(), n.Dev.Mem.NumBlocks()}
+	c.shuffle = n.Opts.Shuffled
+}
+
+// Judge validates an aggregate received at time now against all
+// registered nodes.
+func (c *Collector) Judge(agg *Aggregate, nonce []byte, now sim.Time) *SwarmResult {
+	res := &SwarmResult{At: now, Verdicts: map[string]NodeVerdict{}}
+	for name := range c.refs {
+		reports, present := agg.Reports[name]
+		if !present {
+			res.Missing = append(res.Missing, name)
+			continue
+		}
+		res.Verdicts[name] = c.judgeNode(name, reports, nonce)
+	}
+	return res
+}
+
+func (c *Collector) judgeNode(name string, reports []*core.Report, nonce []byte) NodeVerdict {
+	v := NodeVerdict{Node: name}
+	if len(reports) == 0 {
+		v.Reason = "no reports"
+		return v
+	}
+	key := c.keys[name]
+	ref := c.refs[name]
+	geom := c.geoms[name]
+	scheme := suite.Scheme{Hash: c.hash, Key: key}
+	for _, rep := range reports {
+		if nonce != nil && !bytes.Equal(rep.Nonce, nonce) {
+			v.Reason = "wrong nonce"
+			return v
+		}
+		order := core.DeriveOrder(key, rep.Nonce, rep.Round, geom[1], c.shuffle)
+		var buf bytes.Buffer
+		core.ExpectedStream(&buf, ref, geom[0], rep.Nonce, rep.Round, order)
+		ok, err := scheme.VerifyTag(&buf, rep.Tag)
+		if err != nil {
+			v.Reason = "verification error: " + err.Error()
+			return v
+		}
+		if !ok {
+			v.Reason = "tag mismatch"
+			return v
+		}
+	}
+	v.OK = true
+	return v
+}

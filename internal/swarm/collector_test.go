@@ -1,0 +1,134 @@
+package swarm
+
+import (
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+)
+
+// newJudgedFleet builds a fleet with a Collector registered BEFORE any
+// infection (so golden images are clean).
+func newJudgedFleet(t *testing.T, n int, cfg channel.Config) (*fleet, *Collector) {
+	t.Helper()
+	f := newFleet(t, n, cfg)
+	c := NewCollector(suite.SHA256)
+	for _, node := range f.nodes {
+		c.Register(node)
+	}
+	return f, c
+}
+
+func TestCollectorHealthySwarm(t *testing.T) {
+	f, c := newJudgedFleet(t, 7, channel.Config{Latency: sim.Millisecond})
+	root, _ := BuildTree(f.nodes, 2)
+	var agg *Aggregate
+	root.OnComplete = func(a *Aggregate) { agg = a }
+	nonce := []byte("judge-1")
+	root.Attest(nonce)
+	f.k.Run()
+
+	res := c.Judge(agg, nonce, f.k.Now())
+	if !res.Healthy() {
+		t.Fatalf("healthy swarm judged unhealthy: %+v", res)
+	}
+	if len(res.Verdicts) != 7 || len(res.Missing) != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if len(res.Infected()) != 0 {
+		t.Fatal("infected list non-empty")
+	}
+}
+
+func TestCollectorPinpointsInfection(t *testing.T) {
+	f, c := newJudgedFleet(t, 7, channel.Config{})
+	root, _ := BuildTree(f.nodes, 2)
+	if err := f.nodes[4].Dev.Mem.Poke(5*256+1, 0x99); err != nil {
+		t.Fatal(err)
+	}
+	var agg *Aggregate
+	root.OnComplete = func(a *Aggregate) { agg = a }
+	nonce := []byte("judge-2")
+	root.Attest(nonce)
+	f.k.Run()
+
+	res := c.Judge(agg, nonce, f.k.Now())
+	if res.Healthy() {
+		t.Fatal("infected swarm judged healthy")
+	}
+	infected := res.Infected()
+	if len(infected) != 1 || infected[0] != "node04" {
+		t.Fatalf("infected = %v, want [node04]", infected)
+	}
+	if res.Verdicts["node04"].Reason != "tag mismatch" {
+		t.Fatalf("reason: %q", res.Verdicts["node04"].Reason)
+	}
+}
+
+func TestCollectorFlagsMissingNodes(t *testing.T) {
+	adv := channel.AdversaryFunc(func(m channel.Message) channel.Verdict {
+		if m.To == "node05" {
+			return channel.Drop
+		}
+		return channel.Deliver
+	})
+	f, c := newJudgedFleet(t, 7, channel.Config{Latency: sim.Millisecond, Adv: adv})
+	root, _ := BuildTree(f.nodes, 2)
+	for _, n := range f.nodes {
+		n.Timeout = sim.Duration(Depth(n, f.index)+1) * sim.Second
+	}
+	var agg *Aggregate
+	root.OnComplete = func(a *Aggregate) { agg = a }
+	nonce := []byte("judge-3")
+	root.Attest(nonce)
+	f.k.Run()
+
+	res := c.Judge(agg, nonce, f.k.Now())
+	if res.Healthy() {
+		t.Fatal("swarm with unreachable node judged healthy")
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != "node05" {
+		t.Fatalf("missing = %v", res.Missing)
+	}
+}
+
+func TestCollectorRejectsWrongNonce(t *testing.T) {
+	f, c := newJudgedFleet(t, 3, channel.Config{})
+	root, _ := BuildTree(f.nodes, 2)
+	var agg *Aggregate
+	root.OnComplete = func(a *Aggregate) { agg = a }
+	root.Attest([]byte("actual"))
+	f.k.Run()
+
+	res := c.Judge(agg, []byte("expected"), f.k.Now())
+	if res.Healthy() {
+		t.Fatal("wrong-nonce aggregate judged healthy")
+	}
+	for _, v := range res.Verdicts {
+		if v.OK || v.Reason != "wrong nonce" {
+			t.Fatalf("verdict: %+v", v)
+		}
+	}
+}
+
+func TestCollectorEmptyAggregate(t *testing.T) {
+	_, c := newJudgedFleet(t, 2, channel.Config{})
+	res := c.Judge(&Aggregate{Reports: map[string][]*core.Report{}}, nil, 0)
+	if res.Healthy() {
+		t.Fatal("empty aggregate judged healthy")
+	}
+	if len(res.Missing) != 2 {
+		t.Fatalf("missing = %v", res.Missing)
+	}
+	// A node present but with zero reports is rejected too.
+	res = c.Judge(&Aggregate{Reports: map[string][]*core.Report{
+		"node00": {}, "node01": nil,
+	}}, nil, 0)
+	for _, v := range res.Verdicts {
+		if v.OK || v.Reason != "no reports" {
+			t.Fatalf("verdict: %+v", v)
+		}
+	}
+}

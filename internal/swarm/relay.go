@@ -1,0 +1,62 @@
+package swarm
+
+// The paper cites "Lightweight swarm attestation: a tale of two
+// LISA-s" (§2.1 [4]): two protocol shapes over the same spanning tree.
+// swarm.Node's default mode is LISA-s-like — synchronous bottom-up
+// AGGREGATION, 2(n-1) messages, but parents must wait (and time out)
+// for whole subtrees. This file adds the LISA-α-like RELAY mode: every
+// node sends its own report upward immediately and parents just relay,
+// trading more (small) messages for zero waiting and no timeouts.
+
+// NodeMode selects the collective-attestation protocol shape.
+type NodeMode int
+
+const (
+	// ModeAggregate (default): wait for children, merge, send one
+	// aggregate up (LISA-s-like).
+	ModeAggregate NodeMode = iota
+	// ModeRelay: send own report up immediately; relay children's
+	// reports as they arrive (LISA-α-like).
+	ModeRelay
+)
+
+// relayHandleReq is handleReq for ModeRelay.
+func (n *Node) relayHandleReq(nonce []byte) {
+	if string(nonce) == string(n.lastRelayNonce) {
+		return // duplicate flood
+	}
+	n.lastRelayNonce = append([]byte(nil), nonce...)
+
+	for _, c := range n.Children {
+		n.Link.Send(n.Name, c, MsgSwarmReq, nonce)
+	}
+
+	n.counter++
+	s, err := newSessionForNode(n, nonce)
+	if err != nil {
+		return
+	}
+	s.Start(func(reports []*reportT, err error) {
+		if err != nil {
+			return
+		}
+		n.deliverUp(&Aggregate{Reports: map[string][]*reportT{n.Name: reports}})
+	})
+}
+
+// relayHandleAgg relays a child's (single-node) bundle upward.
+func (n *Node) relayHandleAgg(agg *Aggregate) {
+	agg.Hops++
+	n.deliverUp(agg)
+}
+
+// deliverUp sends a bundle to the parent, or completes at the root.
+func (n *Node) deliverUp(agg *Aggregate) {
+	if n.Parent != "" {
+		n.Link.Send(n.Name, n.Parent, MsgSwarmAgg, agg)
+		return
+	}
+	if n.OnPartial != nil {
+		n.OnPartial(agg)
+	}
+}

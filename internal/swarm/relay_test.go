@@ -1,0 +1,143 @@
+package swarm
+
+import (
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/sim"
+)
+
+// relayFleet flips every node into LISA-α relay mode.
+func relayFleet(t *testing.T, n int, cfg channel.Config) (*fleet, *Collector) {
+	t.Helper()
+	f := newFleet(t, n, cfg)
+	c := NewCollector(f.nodes[0].Opts.Hash)
+	for _, node := range f.nodes {
+		node.Mode = ModeRelay
+		c.Register(node)
+	}
+	return f, c
+}
+
+func TestRelayModeDeliversAllNodes(t *testing.T) {
+	f, c := relayFleet(t, 15, channel.Config{Latency: sim.Millisecond})
+	root, _ := BuildTree(f.nodes, 2)
+	got := &Aggregate{Reports: map[string][]*reportT{}}
+	arrivals := 0
+	root.OnPartial = func(a *Aggregate) {
+		arrivals++
+		got.merge(a)
+	}
+	nonce := []byte("relay-1")
+	root.Attest(nonce)
+	f.k.Run()
+
+	if arrivals != 15 {
+		t.Fatalf("arrivals = %d, want one per node", arrivals)
+	}
+	if len(got.Reports) != 15 {
+		t.Fatalf("reports for %d nodes", len(got.Reports))
+	}
+	res := c.Judge(got, nonce, f.k.Now())
+	if !res.Healthy() {
+		t.Fatalf("healthy relay swarm rejected: %+v", res)
+	}
+}
+
+func TestRelayModeNoTimeoutNeededForLostChild(t *testing.T) {
+	// Drop node03 entirely: in relay mode nobody waits for it; every
+	// other node's report still arrives with no timeout configured.
+	adv := channel.AdversaryFunc(func(m channel.Message) channel.Verdict {
+		if m.To == "node03" || m.From == "node03" {
+			return channel.Drop
+		}
+		return channel.Deliver
+	})
+	f, c := relayFleet(t, 7, channel.Config{Latency: sim.Millisecond, Adv: adv})
+	root, _ := BuildTree(f.nodes, 2)
+	for _, n := range f.nodes {
+		n.Timeout = 0 // relay mode needs none
+	}
+	got := &Aggregate{Reports: map[string][]*reportT{}}
+	root.OnPartial = func(a *Aggregate) { got.merge(a) }
+	nonce := []byte("relay-2")
+	root.Attest(nonce)
+	f.k.Run()
+
+	if len(got.Reports) != 6 {
+		t.Fatalf("reports = %d, want 6 (node03 unreachable)", len(got.Reports))
+	}
+	res := c.Judge(got, nonce, f.k.Now())
+	if len(res.Missing) != 1 || res.Missing[0] != "node03" {
+		t.Fatalf("missing = %v", res.Missing)
+	}
+}
+
+func TestRelayModeDetectsInfection(t *testing.T) {
+	f, c := relayFleet(t, 7, channel.Config{})
+	root, _ := BuildTree(f.nodes, 2)
+	if err := f.nodes[5].Dev.Mem.Poke(3*256+7, 0x66); err != nil {
+		t.Fatal(err)
+	}
+	got := &Aggregate{Reports: map[string][]*reportT{}}
+	root.OnPartial = func(a *Aggregate) { got.merge(a) }
+	nonce := []byte("relay-3")
+	root.Attest(nonce)
+	f.k.Run()
+	res := c.Judge(got, nonce, f.k.Now())
+	infected := res.Infected()
+	if len(infected) != 1 || infected[0] != "node05" {
+		t.Fatalf("infected = %v", infected)
+	}
+}
+
+func TestRelayDuplicateFloodIgnored(t *testing.T) {
+	f, _ := relayFleet(t, 3, channel.Config{})
+	root, _ := BuildTree(f.nodes, 1) // chain: duplicates would echo
+	arrivals := 0
+	root.OnPartial = func(*Aggregate) { arrivals++ }
+	root.Attest([]byte("dup"))
+	root.Attest([]byte("dup")) // duplicate flood of the same nonce
+	f.k.Run()
+	if arrivals != 3 {
+		t.Fatalf("arrivals = %d, want 3 (duplicates suppressed)", arrivals)
+	}
+}
+
+// Protocol-cost comparison: relay moves more (small) messages — one per
+// node per hop — while aggregation moves exactly 2(n-1).
+func TestRelayVsAggregateMessageCounts(t *testing.T) {
+	const n = 15
+	count := func(relay bool) int {
+		var f *fleet
+		if relay {
+			f, _ = relayFleet(t, n, channel.Config{})
+		} else {
+			f, _ = newJudgedFleet(t, n, channel.Config{})
+		}
+		root, _ := BuildTree(f.nodes, 2)
+		done := 0
+		root.OnComplete = func(*Aggregate) { done++ }
+		root.OnPartial = func(*Aggregate) { done++ }
+		root.Attest([]byte("x"))
+		f.k.Run()
+		if done == 0 {
+			t.Fatal("round never produced output")
+		}
+		return f.link.Stats().Sent
+	}
+	agg := count(false)
+	relay := count(true)
+	if agg != 2*(n-1) {
+		t.Fatalf("aggregate messages = %d, want %d", agg, 2*(n-1))
+	}
+	// Relay: (n-1) requests + sum over nodes of depth(node) report
+	// relays. For the 15-node balanced binary tree: depths
+	// 1*2+2*4+3*8 = 34 report messages, 14 requests = 48.
+	if relay != 48 {
+		t.Fatalf("relay messages = %d, want 48", relay)
+	}
+	if relay <= agg {
+		t.Fatal("relay should cost more messages than aggregation")
+	}
+}

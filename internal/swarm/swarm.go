@@ -1,0 +1,238 @@
+// Package swarm implements lightweight collective attestation for a
+// group of interconnected provers (the swarm setting of §2.1,
+// LISA/SEDA-style): an initiator floods an attestation request down a
+// spanning tree; every node measures itself; reports are aggregated
+// bottom-up so the collector receives one bundle describing the whole
+// swarm.
+//
+// Each node is a full simulated device running the shared measurement
+// engine, so per-node detection semantics (locks, malware, timing) are
+// identical to the single-prover setting.
+package swarm
+
+import (
+	"fmt"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/device"
+	"saferatt/internal/sim"
+)
+
+// Message kinds of the swarm protocol.
+const (
+	MsgSwarmReq = "swarm-req" // initiator/parent -> child: nonce
+	MsgSwarmAgg = "swarm-agg" // child -> parent: *Aggregate
+)
+
+// Aggregate is the bottom-up report bundle.
+type Aggregate struct {
+	// Reports maps node name to its measurement reports.
+	Reports map[string][]*core.Report
+	// Hops is the maximum tree depth the bundle traversed.
+	Hops int
+}
+
+// merge folds child aggregates into a.
+func (a *Aggregate) merge(b *Aggregate) {
+	for name, reps := range b.Reports {
+		a.Reports[name] = reps
+	}
+	if b.Hops+1 > a.Hops {
+		a.Hops = b.Hops + 1
+	}
+}
+
+// Node is one swarm member.
+type Node struct {
+	Name     string
+	Dev      *device.Device
+	Opts     core.Options
+	Link     *channel.Link
+	Children []string
+	Parent   string // "" for the root
+	// Timeout bounds how long a node waits for child aggregates before
+	// forwarding what it has (robustness against lost children).
+	Timeout sim.Duration
+
+	// Mode selects the protocol shape: synchronous aggregation
+	// (default, LISA-s-like) or immediate relay (LISA-α-like).
+	Mode NodeMode
+
+	task           *device.Task
+	collected      *Aggregate
+	waiting        int
+	curNonce       []byte
+	timeoutEv      *sim.Event
+	counter        uint64
+	lastRelayNonce []byte
+	// OnComplete fires on the root when the full aggregate is ready to
+	// ship to the collector (ModeAggregate).
+	OnComplete func(*Aggregate)
+	// OnPartial fires on the root for every per-node bundle that
+	// arrives (ModeRelay).
+	OnPartial func(*Aggregate)
+}
+
+// NewNode wires a node to the link.
+func NewNode(name string, dev *device.Device, link *channel.Link, opts core.Options, prio int) (*Node, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Name: name, Dev: dev, Opts: opts, Link: link,
+		Timeout: 30 * sim.Second,
+	}
+	n.task = dev.NewTask("MP:"+name, prio)
+	link.Connect(name, n.onMessage)
+	return n, nil
+}
+
+func (n *Node) onMessage(m channel.Message) {
+	switch m.Kind {
+	case MsgSwarmReq:
+		nonce, ok := m.Payload.([]byte)
+		if !ok {
+			return
+		}
+		if n.Mode == ModeRelay {
+			n.relayHandleReq(nonce)
+			return
+		}
+		n.handleReq(nonce)
+	case MsgSwarmAgg:
+		agg, ok := m.Payload.(*Aggregate)
+		if !ok {
+			return
+		}
+		if n.Mode == ModeRelay {
+			n.relayHandleAgg(agg)
+			return
+		}
+		n.handleChildAgg(agg)
+	}
+}
+
+// Attest starts a collective attestation from this node as the root.
+func (n *Node) Attest(nonce []byte) {
+	if n.Mode == ModeRelay {
+		n.relayHandleReq(nonce)
+		return
+	}
+	n.handleReq(nonce)
+}
+
+func (n *Node) handleReq(nonce []byte) {
+	if n.collected != nil {
+		return // already participating in a round
+	}
+	n.curNonce = nonce
+	n.collected = &Aggregate{Reports: map[string][]*core.Report{}}
+	n.waiting = len(n.Children)
+
+	// Flood downwards first so the subtree measures in parallel.
+	for _, c := range n.Children {
+		n.Link.Send(n.Name, c, MsgSwarmReq, nonce)
+	}
+
+	// Measure self.
+	n.counter++
+	s, err := newSessionForNode(n, nonce)
+	if err != nil {
+		return
+	}
+	s.Start(func(reports []*core.Report, err error) {
+		if err == nil {
+			n.collected.Reports[n.Name] = reports
+		}
+		n.maybeFinish()
+	})
+
+	if n.waiting > 0 && n.Timeout > 0 {
+		n.timeoutEv = n.Dev.Kernel.Schedule(n.Timeout, func() {
+			// Give up on missing children; report what we have.
+			n.waiting = 0
+			n.maybeFinish()
+		})
+	}
+}
+
+func (n *Node) handleChildAgg(agg *Aggregate) {
+	if n.collected == nil {
+		return
+	}
+	n.collected.merge(agg)
+	if n.waiting > 0 {
+		n.waiting--
+	}
+	n.maybeFinish()
+}
+
+// maybeFinish sends the aggregate up once the own report is in and all
+// children answered (or timed out).
+func (n *Node) maybeFinish() {
+	if n.collected == nil || n.waiting > 0 {
+		return
+	}
+	if _, ok := n.collected.Reports[n.Name]; !ok {
+		return // own measurement still running
+	}
+	agg := n.collected
+	n.collected = nil
+	n.curNonce = nil
+	if n.timeoutEv != nil {
+		n.timeoutEv.Cancel()
+		n.timeoutEv = nil
+	}
+	if n.Parent != "" {
+		n.Link.Send(n.Name, n.Parent, MsgSwarmAgg, agg)
+		return
+	}
+	if n.OnComplete != nil {
+		n.OnComplete(agg)
+	}
+}
+
+// BuildTree links a slice of nodes into a b-ary spanning tree rooted at
+// nodes[0] and returns the root.
+func BuildTree(nodes []*Node, branching int) (*Node, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("swarm: empty swarm")
+	}
+	if branching < 1 {
+		return nil, fmt.Errorf("swarm: branching must be >= 1")
+	}
+	for i, n := range nodes {
+		n.Parent = ""
+		n.Children = nil
+		if i == 0 {
+			continue
+		}
+		parent := nodes[(i-1)/branching]
+		n.Parent = parent.Name
+		parent.Children = append(parent.Children, n.Name)
+	}
+	return nodes[0], nil
+}
+
+// Depth returns the tree depth below n (0 for a leaf), resolving names
+// through the given index.
+func Depth(n *Node, index map[string]*Node) int {
+	max := 0
+	for _, c := range n.Children {
+		if child, ok := index[c]; ok {
+			if d := Depth(child, index) + 1; d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// reportT keeps relay.go readable without re-importing core there.
+type reportT = core.Report
+
+// newSessionForNode builds the node's measurement session.
+func newSessionForNode(n *Node, nonce []byte) (*core.Session, error) {
+	return core.NewSession(n.Dev, n.task, n.Opts, nonce, n.counter)
+}

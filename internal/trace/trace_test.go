@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"saferatt/internal/sim"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	var l Log
+	l.Add(0, KindMeasureStart, "mp", "t_s")
+	l.Addf(sim.Time(sim.Second), KindMeasureEnd, "mp", "round %d", 3)
+	evs := l.Events()
+	if len(evs) != 2 || l.Len() != 2 {
+		t.Fatalf("events %v", evs)
+	}
+	if evs[1].Detail != "round 3" {
+		t.Fatalf("Addf detail %q", evs[1].Detail)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, KindWrite, "x", "y") // must not panic
+	l.Addf(0, KindWrite, "x", "%d", 1)
+	if l.Events() != nil || l.Len() != 0 {
+		t.Fatal("nil log should be empty")
+	}
+	if l.Filter(KindWrite) != nil {
+		t.Fatal("nil filter")
+	}
+	if _, ok := l.First(KindWrite); ok {
+		t.Fatal("nil First")
+	}
+	if _, ok := l.Last(KindWrite); ok {
+		t.Fatal("nil Last")
+	}
+	if l.Render() != "" {
+		t.Fatal("nil Render")
+	}
+}
+
+func TestFilterFirstLast(t *testing.T) {
+	var l Log
+	l.Add(1, KindBlockMeasured, "mp", "a")
+	l.Add(2, KindWriteFault, "app", "b")
+	l.Add(3, KindBlockMeasured, "mp", "c")
+	got := l.Filter(KindBlockMeasured)
+	if len(got) != 2 || got[0].Detail != "a" || got[1].Detail != "c" {
+		t.Fatalf("filter %v", got)
+	}
+	first, ok := l.First(KindBlockMeasured)
+	if !ok || first.Detail != "a" {
+		t.Fatalf("first %v", first)
+	}
+	last, ok := l.Last(KindBlockMeasured)
+	if !ok || last.Detail != "c" {
+		t.Fatalf("last %v", last)
+	}
+	if _, ok := l.First(KindMalwareErase); ok {
+		t.Fatal("found nonexistent kind")
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	var l Log
+	l.Add(sim.Time(1500*sim.Millisecond), KindMeasureStart, "mp", "t_s")
+	out := l.Render()
+	if !strings.Contains(out, "1.500000s") || !strings.Contains(out, "measure-start") || !strings.Contains(out, "mp") {
+		t.Fatalf("render %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("render should end with newline")
+	}
+	if s := l.Events()[0].String(); !strings.Contains(s, "t_s") {
+		t.Fatalf("event string %q", s)
+	}
+}

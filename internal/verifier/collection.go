@@ -1,0 +1,121 @@
+package verifier
+
+import (
+	"bytes"
+
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+)
+
+// CollectionPolicy configures validation of an ERASMUS measurement
+// history (§3.3): besides per-report tags, the verifier checks that
+// self-derived nonces are honest, counters never repeat, and the
+// measurement cadence matches the advertised QoA.
+type CollectionPolicy struct {
+	// TM is the expected self-measurement period; 0 skips cadence
+	// checks.
+	TM sim.Duration
+	// Slack is the tolerated deviation per gap (scheduling noise,
+	// context-aware deferrals). Defaults to TM/2 when zero.
+	Slack sim.Duration
+}
+
+// handleCollection validates an ERASMUS history message.
+func (v *Verifier) handleCollection(prover string, reports []*core.Report) {
+	v.ValidateCollection(prover, reports, CollectionPolicy{})
+}
+
+// ValidateCollection checks a self-measurement history and records one
+// Result per report plus cadence violations. It returns true when the
+// whole history is acceptable.
+func (v *Verifier) ValidateCollection(prover string, reports []*core.Report, pol CollectionPolicy) bool {
+	ok := true
+	seen := v.seen[prover]
+	if seen == nil {
+		seen = map[uint64]bool{}
+		v.seen[prover] = seen
+	}
+
+	var prevTS sim.Time
+	var prevCtr uint64
+	first := true
+	for _, r := range reports {
+		res := v.verifyOne(prover, r, nil)
+		if res.OK {
+			// Self-derived nonce must be PRF(key, counter): prevents a
+			// compromised prover from re-labeling one old honest
+			// measurement as many.
+			want := core.PRF(v.PermKey, "erasmus-nonce", r.Counter)
+			if !bytes.Equal(r.Nonce, want) {
+				res.OK = false
+				res.Reason = "self-measurement nonce not bound to counter"
+			}
+		}
+		if res.OK && seen[r.Counter] {
+			res.OK = false
+			res.Reason = "replayed measurement counter"
+			v.counts.Replays++
+		}
+		if res.OK && !first {
+			if r.Counter <= prevCtr {
+				res.OK = false
+				res.Reason = "non-monotonic measurement counter"
+			} else if pol.TM > 0 {
+				slack := pol.Slack
+				if slack == 0 {
+					slack = pol.TM / 2
+				}
+				gap := r.TS.Sub(prevTS)
+				expect := sim.Duration(r.Counter-prevCtr) * pol.TM
+				if gap < expect-slack || gap > expect+slack {
+					res.OK = false
+					res.Reason = "measurement cadence violates advertised QoA"
+				}
+			}
+		}
+		if res.OK {
+			seen[r.Counter] = true
+		}
+		v.record(res)
+		ok = ok && res.OK
+		prevTS, prevCtr, first = r.TS, r.Counter, false
+	}
+	return ok
+}
+
+// QoA summarizes the Quality of Attestation a collection provides
+// (Fig. 5): the observed measurement period and the staleness of the
+// newest measurement at collection time.
+type QoA struct {
+	// MeanTM is the observed mean gap between consecutive
+	// measurements.
+	MeanTM sim.Duration
+	// WorstGap is the largest observed gap — the worst-case window of
+	// opportunity for transient malware.
+	WorstGap sim.Duration
+	// Staleness is collection time minus the newest report's t_s.
+	Staleness sim.Duration
+	// Measurements is the history length.
+	Measurements int
+}
+
+// QoAOf computes QoA statistics for a collection received at time now.
+func QoAOf(reports []*core.Report, now sim.Time) QoA {
+	q := QoA{Measurements: len(reports)}
+	if len(reports) == 0 {
+		return q
+	}
+	var total sim.Duration
+	for i := 1; i < len(reports); i++ {
+		gap := reports[i].TS.Sub(reports[i-1].TS)
+		total += gap
+		if gap > q.WorstGap {
+			q.WorstGap = gap
+		}
+	}
+	if len(reports) > 1 {
+		q.MeanTM = total / sim.Duration(len(reports)-1)
+	}
+	q.Staleness = now.Sub(reports[len(reports)-1].TS)
+	return q
+}

@@ -1,0 +1,208 @@
+package verifier
+
+import (
+	"fmt"
+	"sort"
+
+	"saferatt/internal/sim"
+)
+
+// Fleet drives periodic on-demand attestation of many provers from one
+// verifier — the "smart control panel" role of the paper's §2.5
+// example, productionized: staggered challenge rounds, per-prover
+// health, and an alarm hook for state transitions.
+type Fleet struct {
+	V *Verifier
+	// Period between successive challenges of the SAME prover.
+	Period sim.Duration
+	// Timeout after which an unanswered challenge counts as a failure.
+	Timeout sim.Duration
+	// MaxStrikes marks a prover unhealthy after this many consecutive
+	// failures (default 1).
+	MaxStrikes int
+	// OnChange fires when a prover's health flips.
+	OnChange func(prover string, healthy bool, reason string)
+
+	provers []string
+	state   map[string]*proverState
+	ticker  *sim.Ticker
+	stopped bool
+}
+
+type proverState struct {
+	healthy    bool
+	strikes    int
+	lastOK     sim.Time
+	lastReason string
+	awaiting   bool
+	challenged sim.Time
+	rounds     int
+	failures   int
+}
+
+// ProverHealth is a point-in-time health snapshot.
+type ProverHealth struct {
+	Prover    string
+	Healthy   bool
+	LastOK    sim.Time
+	Staleness sim.Duration // now - last accepted measurement's arrival
+	Rounds    int
+	Failures  int
+	Reason    string // last failure reason
+}
+
+// NewFleet wraps a verifier. Provers are challenged round-robin with
+// their slots staggered across the period.
+func NewFleet(v *Verifier, period, timeout sim.Duration) *Fleet {
+	if period <= 0 {
+		period = 30 * sim.Second
+	}
+	if timeout <= 0 {
+		timeout = period / 2
+	}
+	return &Fleet{
+		V: v, Period: period, Timeout: timeout, MaxStrikes: 1,
+		state: map[string]*proverState{},
+	}
+}
+
+// Add registers a prover (healthy until proven otherwise).
+func (f *Fleet) Add(prover string) {
+	if _, dup := f.state[prover]; dup {
+		return
+	}
+	f.provers = append(f.provers, prover)
+	f.state[prover] = &proverState{healthy: true}
+}
+
+// Start begins the challenge schedule. Each prover gets a slot offset
+// of period/len(provers) so rounds do not collide on the link.
+func (f *Fleet) Start() {
+	if len(f.provers) == 0 {
+		panic("verifier: fleet has no provers")
+	}
+	prev := f.V.OnResult
+	f.V.OnResult = func(r Result) {
+		if prev != nil {
+			prev(r)
+		}
+		f.observe(r)
+	}
+	slot := f.Period / sim.Duration(len(f.provers))
+	for i, p := range f.provers {
+		p := p
+		f.V.Kernel.Schedule(slot*sim.Duration(i), func() { f.challenge(p) })
+	}
+	f.ticker = f.V.Kernel.NewTicker(f.Period, func(sim.Time) {
+		for i, p := range f.provers {
+			p := p
+			f.V.Kernel.Schedule(slot*sim.Duration(i), func() { f.challenge(p) })
+		}
+	})
+}
+
+// Stop halts future rounds.
+func (f *Fleet) Stop() {
+	f.stopped = true
+	if f.ticker != nil {
+		f.ticker.Stop()
+	}
+}
+
+func (f *Fleet) challenge(prover string) {
+	if f.stopped {
+		return
+	}
+	st := f.state[prover]
+	if st.awaiting {
+		// Previous round still outstanding: that IS the timeout case.
+		f.fail(prover, "challenge timed out (device down or report lost)")
+	}
+	st.awaiting = true
+	st.challenged = f.V.Kernel.Now()
+	st.rounds++
+	f.V.Challenge(prover)
+	f.V.Kernel.Schedule(f.Timeout, func() {
+		if st.awaiting && st.challenged.Add(f.Timeout) <= f.V.Kernel.Now() {
+			st.awaiting = false
+			f.fail(prover, "challenge timed out (device down or report lost)")
+		}
+	})
+}
+
+// observe feeds verifier results into health state.
+func (f *Fleet) observe(r Result) {
+	st, ok := f.state[r.Prover]
+	if !ok {
+		return
+	}
+	st.awaiting = false
+	if r.OK {
+		st.strikes = 0
+		st.lastOK = r.At
+		if !st.healthy {
+			st.healthy = true
+			if f.OnChange != nil {
+				f.OnChange(r.Prover, true, "attestation clean again")
+			}
+		}
+		return
+	}
+	f.fail(r.Prover, r.Reason)
+}
+
+func (f *Fleet) fail(prover, reason string) {
+	st := f.state[prover]
+	st.strikes++
+	st.failures++
+	st.lastReason = reason
+	if st.healthy && st.strikes >= f.MaxStrikes {
+		st.healthy = false
+		if f.OnChange != nil {
+			f.OnChange(prover, false, reason)
+		}
+	}
+}
+
+// Health returns snapshots for all provers, sorted by name.
+func (f *Fleet) Health() []ProverHealth {
+	now := f.V.Kernel.Now()
+	out := make([]ProverHealth, 0, len(f.provers))
+	for _, p := range f.provers {
+		st := f.state[p]
+		h := ProverHealth{
+			Prover: p, Healthy: st.healthy, LastOK: st.lastOK,
+			Rounds: st.rounds, Failures: st.failures, Reason: st.lastReason,
+		}
+		if st.lastOK > 0 {
+			h.Staleness = now.Sub(st.lastOK)
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prover < out[j].Prover })
+	return out
+}
+
+// Healthy reports whether every prover is currently healthy.
+func (f *Fleet) Healthy() bool {
+	for _, st := range f.state {
+		if !st.healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints a one-line-per-prover dashboard.
+func (f *Fleet) Render() string {
+	out := ""
+	for _, h := range f.Health() {
+		status := "HEALTHY"
+		if !h.Healthy {
+			status = "COMPROMISED/DOWN"
+		}
+		out += fmt.Sprintf("%-10s %-17s rounds=%-4d failures=%-3d staleness=%v\n",
+			h.Prover, status, h.Rounds, h.Failures, h.Staleness)
+	}
+	return out
+}

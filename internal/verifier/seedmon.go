@@ -1,0 +1,120 @@
+package verifier
+
+import (
+	"bytes"
+
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+)
+
+// SeedMonitor tracks a SeED prover's unidirectional report stream: it
+// reconstructs the secret schedule from the shared seed, arms a
+// watchdog for each expected report, flags missing ones (possible
+// communication adversary — or a false positive on a lossy link, the
+// §3.3 caveat), rejects replays via the monotonic counter, and
+// validates tags like any other report.
+type SeedMonitor struct {
+	v      *Verifier
+	prover string
+	seed   []byte
+	base   sim.Duration
+	jitter sim.Duration
+	start  sim.Time
+	// Grace is how long past the expected trigger time Vrf waits
+	// before declaring a report missing (covers MP duration + network).
+	Grace sim.Duration
+
+	expected uint64 // next counter we are waiting for
+	lastCtr  uint64
+	stopped  bool
+	// MissingCounters lists counters whose watchdog expired.
+	MissingCounters []uint64
+}
+
+// Stop disarms the watchdog chain (e.g. when the device is known to be
+// decommissioned). Already-recorded results stand.
+func (m *SeedMonitor) Stop() { m.stopped = true }
+
+// MonitorSeED attaches a SeED schedule monitor for a prover. start is
+// the virtual time the prover's schedule was armed.
+func (v *Verifier) MonitorSeED(prover string, seed []byte, base, jitter sim.Duration, start sim.Time, grace sim.Duration) *SeedMonitor {
+	m := &SeedMonitor{
+		v: v, prover: prover, seed: append([]byte(nil), seed...),
+		base: base, jitter: jitter, start: start, Grace: grace,
+		expected: 1,
+	}
+	if m.Grace <= 0 {
+		m.Grace = base
+	}
+	if v.seedMons == nil {
+		v.seedMons = map[string]*SeedMonitor{}
+	}
+	v.seedMons[prover] = m
+	m.armWatchdog()
+	return m
+}
+
+func (m *SeedMonitor) armWatchdog() {
+	ctr := m.expected
+	due := core.TriggerTime(m.seed, ctr, m.start, m.base, m.jitter).Add(m.Grace)
+	m.v.Kernel.At(due, func() {
+		if m.stopped || m.lastCtr >= ctr {
+			return // arrived in time, or monitoring ended
+		}
+		m.MissingCounters = append(m.MissingCounters, ctr)
+		m.v.counts.Missing++
+		m.v.record(Result{
+			Prover: m.prover, At: m.v.Kernel.Now(), OK: false,
+			Reason: "expected SeED report missing (dropped or device down)",
+		})
+		m.expected = ctr + 1
+		m.armWatchdog()
+	})
+}
+
+// handleSeedReports processes an unsolicited SeED report bundle.
+func (v *Verifier) handleSeedReports(prover string, reports []*core.Report) {
+	m := v.seedMons[prover]
+	for _, r := range reports {
+		res := v.verifyOne(prover, r, nil)
+		if res.OK {
+			want := core.PRF(v.seedFor(prover), "seed-nonce", r.Counter)
+			if !bytes.Equal(r.Nonce, want) {
+				res.OK = false
+				res.Reason = "SeED nonce not bound to counter"
+			}
+		}
+		if m != nil && res.OK {
+			if r.Counter <= m.lastCtr {
+				res.OK = false
+				res.Reason = "replayed SeED report"
+				v.counts.Replays++
+			} else {
+				// Counters skipped between the last accepted report
+				// and this one were dropped in flight: flag them now
+				// instead of waiting for their watchdogs.
+				for ctr := m.expected; ctr < r.Counter; ctr++ {
+					m.MissingCounters = append(m.MissingCounters, ctr)
+					v.counts.Missing++
+					v.record(Result{
+						Prover: m.prover, At: v.Kernel.Now(), OK: false,
+						Reason: "SeED report counter gap (report dropped in flight)",
+					})
+				}
+				m.lastCtr = r.Counter
+				if r.Counter >= m.expected {
+					m.expected = r.Counter + 1
+					m.armWatchdog()
+				}
+			}
+		}
+		v.record(res)
+	}
+}
+
+func (v *Verifier) seedFor(prover string) []byte {
+	if m, ok := v.seedMons[prover]; ok {
+		return m.seed
+	}
+	return nil
+}

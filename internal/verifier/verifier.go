@@ -1,0 +1,267 @@
+// Package verifier implements the trusted party Vrf: it challenges
+// on-demand provers, collects ERASMUS self-measurement histories,
+// monitors SeED report schedules, and validates every report against a
+// golden memory image by recomputing the measurement with the shared
+// key (MAC mode) or verifying the signature (hash-and-sign mode).
+package verifier
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+	"saferatt/internal/trace"
+)
+
+// Result records one verification decision.
+type Result struct {
+	Prover string
+	At     sim.Time // when Vrf decided
+	OK     bool
+	Reason string // non-empty when !OK
+	Report *core.Report
+	// Freshness is decision time minus the report's t_s: how stale the
+	// attested state is (§3.3's freshness notion).
+	Freshness sim.Duration
+}
+
+// Counts aggregates verification outcomes.
+type Counts struct {
+	Accepted int
+	Rejected int
+	Replays  int
+	Missing  int // expected-but-absent reports (SeED watchdog)
+}
+
+// Verifier is Vrf.
+type Verifier struct {
+	Name   string
+	Kernel *sim.Kernel
+	Link   *channel.Link
+	// Scheme mirrors the prover's tagging scheme; in MAC mode Key is
+	// the shared attestation key.
+	Scheme suite.Scheme
+	// PermKey derives shuffled traversal orders (the attestation key
+	// in the MAC setting).
+	PermKey []byte
+	// Ref is the golden memory image the prover should have.
+	Ref []byte
+	// Opts mirror the prover's mechanism configuration.
+	Opts core.Options
+	// Trace is optional.
+	Trace *trace.Log
+	// OnResult, if set, observes each result as it is recorded.
+	OnResult func(Result)
+
+	pending  map[string]pendingChallenge
+	seen     map[string]map[uint64]bool // prover -> counters already accepted
+	seedMons map[string]*SeedMonitor
+	results  []Result
+	counts   Counts
+	nonceCtr uint64
+}
+
+type pendingChallenge struct {
+	nonce  []byte
+	sentAt sim.Time
+}
+
+// Config assembles a Verifier.
+type Config struct {
+	Name    string // defaults to "verifier"
+	Kernel  *sim.Kernel
+	Link    *channel.Link
+	Scheme  suite.Scheme
+	PermKey []byte
+	Ref     []byte
+	Opts    core.Options
+	Trace   *trace.Log
+}
+
+// New builds a Verifier and connects it to the link.
+func New(cfg Config) (*Verifier, error) {
+	if cfg.Kernel == nil || cfg.Link == nil {
+		return nil, fmt.Errorf("verifier: Kernel and Link are required")
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, fmt.Errorf("verifier: %w", err)
+	}
+	if len(cfg.Ref) == 0 {
+		return nil, fmt.Errorf("verifier: empty reference image")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "verifier"
+	}
+	v := &Verifier{
+		Name: name, Kernel: cfg.Kernel, Link: cfg.Link,
+		Scheme: cfg.Scheme, PermKey: cfg.PermKey, Ref: cfg.Ref,
+		Opts: cfg.Opts, Trace: cfg.Trace,
+		pending: map[string]pendingChallenge{},
+		seen:    map[string]map[uint64]bool{},
+	}
+	cfg.Link.Connect(name, v.onMessage)
+	return v, nil
+}
+
+// Challenge sends a fresh-nonce attestation request to a prover
+// (step 1 of the §2.2 timeline) and returns the nonce.
+func (v *Verifier) Challenge(prover string) []byte {
+	v.nonceCtr++
+	nonce := nonceBytes(v.PermKey, v.nonceCtr)
+	v.pending[prover] = pendingChallenge{nonce: nonce, sentAt: v.Kernel.Now()}
+	v.Trace.Add(v.Kernel.Now(), trace.KindRequestSent, v.Name, "to "+prover)
+	v.Link.Send(v.Name, prover, core.MsgChallenge, nonce)
+	return nonce
+}
+
+// Release asks a prover to drop extended locks (defines t_r).
+func (v *Verifier) Release(prover string) {
+	v.Link.Send(v.Name, prover, core.MsgRelease, nil)
+}
+
+// Collect requests an ERASMUS prover's stored measurement history.
+func (v *Verifier) Collect(prover string) {
+	v.Link.Send(v.Name, prover, core.MsgCollect, nil)
+}
+
+func nonceBytes(key []byte, ctr uint64) []byte {
+	// Deterministic per-verifier nonce stream keeps experiments
+	// reproducible while remaining unpredictable to the prover.
+	mac := hmac.New(sha256.New, key)
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], ctr)
+	mac.Write([]byte("challenge"))
+	mac.Write(c[:])
+	return mac.Sum(nil)[:16]
+}
+
+func (v *Verifier) onMessage(m channel.Message) {
+	switch m.Kind {
+	case core.MsgReport:
+		v.Trace.Add(v.Kernel.Now(), trace.KindReportReceived, v.Name, "from "+m.From)
+		reports, ok := m.Payload.([]*core.Report)
+		if !ok {
+			return
+		}
+		v.handleOnDemandReports(m.From, reports)
+	case core.MsgCollection:
+		reports, ok := m.Payload.([]*core.Report)
+		if !ok {
+			return
+		}
+		v.handleCollection(m.From, reports)
+	case core.MsgSeedReport:
+		reports, ok := m.Payload.([]*core.Report)
+		if !ok {
+			return
+		}
+		v.handleSeedReports(m.From, reports)
+	}
+}
+
+// handleOnDemandReports validates a challenge response: every round's
+// report must carry the outstanding nonce and a correct tag.
+func (v *Verifier) handleOnDemandReports(prover string, reports []*core.Report) {
+	pc, ok := v.pending[prover]
+	if !ok {
+		v.record(Result{Prover: prover, At: v.Kernel.Now(), OK: false,
+			Reason: "unsolicited report"})
+		return
+	}
+	delete(v.pending, prover)
+	for _, r := range reports {
+		res := v.verifyOne(prover, r, pc.nonce)
+		v.record(res)
+		if !res.OK {
+			return
+		}
+	}
+	v.Trace.Add(v.Kernel.Now(), trace.KindReportVerified, v.Name, "from "+prover)
+}
+
+// verifyOne checks a single report: nonce binding (if expected) and
+// tag correctness against the golden image.
+func (v *Verifier) verifyOne(prover string, r *core.Report, wantNonce []byte) Result {
+	now := v.Kernel.Now()
+	res := Result{Prover: prover, At: now, Report: r, Freshness: now.Sub(r.TS)}
+	if wantNonce != nil && !bytes.Equal(r.Nonce, wantNonce) {
+		res.Reason = "nonce mismatch"
+		return res
+	}
+	ok, err := v.CheckTag(r)
+	if err != nil {
+		res.Reason = "verification error: " + err.Error()
+		return res
+	}
+	if !ok {
+		res.Reason = "tag mismatch (memory deviates from golden image)"
+		return res
+	}
+	res.OK = true
+	return res
+}
+
+// CheckTag recomputes the expected measurement over the golden image
+// in the report's (re-derived) traversal order and compares tags. The
+// configured data region is honored: zeroed blocks are expected zero,
+// reported blocks are taken verbatim from the report (§2.3).
+func (v *Verifier) CheckTag(r *core.Report) (bool, error) {
+	n := len(v.Ref) / r.BlockSize
+	if n*r.BlockSize != len(v.Ref) || n != r.NumBlocks {
+		return false, fmt.Errorf("verifier: geometry mismatch: report %dx%d vs ref %d bytes",
+			r.NumBlocks, r.BlockSize, len(v.Ref))
+	}
+	ref, err := core.EffectiveReference(v.Ref, r.BlockSize, v.Opts.Data, r.Data)
+	if err != nil {
+		return false, err
+	}
+	start, count := 0, n
+	if r.RegionCount > 0 {
+		if r.RegionStart < 0 || r.RegionStart+r.RegionCount > n {
+			return false, fmt.Errorf("verifier: report region [%d,+%d) exceeds memory", r.RegionStart, r.RegionCount)
+		}
+		start, count = r.RegionStart, r.RegionCount
+	}
+	order := core.DeriveOrderRegion(v.PermKey, r.Nonce, r.Round, start, count, v.Opts.Shuffled)
+	var buf bytes.Buffer
+	buf.Grow(count*r.BlockSize + 16 + 8*count)
+	core.ExpectedStream(&buf, ref, r.BlockSize, r.Nonce, r.Round, order)
+	return v.Scheme.VerifyTag(&buf, r.Tag)
+}
+
+func (v *Verifier) record(res Result) {
+	v.results = append(v.results, res)
+	if res.OK {
+		v.counts.Accepted++
+	} else {
+		v.counts.Rejected++
+	}
+	if v.OnResult != nil {
+		v.OnResult(res)
+	}
+}
+
+// Results returns all recorded verification results.
+func (v *Verifier) Results() []Result { return v.results }
+
+// Counts returns aggregate outcome counters.
+func (v *Verifier) Counts() Counts { return v.counts }
+
+// LastResult returns the most recent result, or ok=false.
+func (v *Verifier) LastResult() (Result, bool) {
+	if len(v.results) == 0 {
+		return Result{}, false
+	}
+	return v.results[len(v.results)-1], true
+}
+
+// Detected reports whether any verification so far rejected a report —
+// the experiment-level "malware detected" signal.
+func (v *Verifier) Detected() bool { return v.counts.Rejected > 0 }

@@ -1,0 +1,116 @@
+package saferatt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartCleanDevice(t *testing.T) {
+	s := NewScenario(ScenarioConfig{})
+	res := s.AttestOnce()
+	if !res.OK {
+		t.Fatalf("clean device rejected: %s", res.Reason)
+	}
+	if res.Duration <= 0 || res.RoundTrip < res.Duration {
+		t.Fatalf("timing: %+v", res)
+	}
+}
+
+func TestEveryMechanismCleanDevice(t *testing.T) {
+	for _, id := range []MechanismID{SMART, HYDRA, NoLock, AllLock, DecLock, IncLock, SMARM} {
+		s := NewScenario(ScenarioConfig{Mechanism: id, Seed: 3})
+		res := s.AttestOnce()
+		if !res.OK {
+			t.Errorf("%s: clean device rejected: %s", id, res.Reason)
+		}
+	}
+}
+
+func TestPersistentMalwareAlwaysDetected(t *testing.T) {
+	for _, id := range []MechanismID{SMART, NoLock, SMARM} {
+		s := NewScenario(ScenarioConfig{Mechanism: id, Seed: 4})
+		if err := s.InfectPersistent(5); err != nil {
+			t.Fatal(err)
+		}
+		if res := s.AttestOnce(); res.OK {
+			t.Errorf("%s: persistent malware escaped", id)
+		}
+	}
+}
+
+func TestRovingMalwareEscapesNoLockNotSMART(t *testing.T) {
+	s := NewScenario(ScenarioConfig{Mechanism: NoLock, Seed: 5})
+	if _, err := s.NewSelfRelocating(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if res := s.AttestOnce(); !res.OK {
+		t.Error("roving malware should escape No-Lock")
+	}
+
+	s2 := NewScenario(ScenarioConfig{Mechanism: SMART, Seed: 5})
+	if _, err := s2.NewSelfRelocating(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if res := s2.AttestOnce(); res.OK {
+		t.Error("roving malware should be caught by SMART")
+	}
+}
+
+func TestTransientMalwareEscapesIncLock(t *testing.T) {
+	s := NewScenario(ScenarioConfig{Mechanism: IncLock, Seed: 6})
+	mw, err := s.NewTransient(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := s.AttestOnce(); !res.OK {
+		t.Error("transient malware should escape Inc-Lock")
+	}
+	if mw.Resident() {
+		t.Error("transient malware should have erased itself")
+	}
+}
+
+func TestSMARMMultiRound(t *testing.T) {
+	s := NewScenario(ScenarioConfig{Mechanism: SMARM, Rounds: 13, Seed: 7})
+	if _, err := s.NewSelfRelocating(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if res := s.AttestOnce(); res.OK {
+		t.Error("roving malware survived 13 SMARM rounds")
+	}
+}
+
+func TestAnalyticHelpers(t *testing.T) {
+	if p := SMARMEscape(1000, 1); math.Abs(p-math.Exp(-1)) > 0.01 {
+		t.Errorf("SMARMEscape(1000,1) = %v", p)
+	}
+	if p := TransientDetectProb(5*Second, 10*Second); p != 0.5 {
+		t.Errorf("TransientDetectProb = %v", p)
+	}
+	if Profile().Name != "ODROID-XU4" {
+		t.Error("profile name")
+	}
+}
+
+func TestFireAlarmAttachment(t *testing.T) {
+	s := NewScenario(ScenarioConfig{Mechanism: SMART, MemSize: 1 << 20, BlockSize: 4096, Seed: 8})
+	fa := s.NewFireAlarm(FireAlarmConfig{})
+	fa.Start()
+	fa.StartFire(Time(1500 * Millisecond))
+	s.Kernel.RunUntil(Time(4 * Second))
+	fa.Stop()
+	s.Kernel.Run()
+	if len(fa.Alarms) != 1 {
+		t.Fatalf("alarms = %d", len(fa.Alarms))
+	}
+}
+
+func TestPresetExposed(t *testing.T) {
+	o := Preset(DecLock, BLAKE2s)
+	if o.Mechanism != DecLock || o.Hash != BLAKE2s {
+		t.Fatalf("preset %+v", o)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -269,6 +269,102 @@ func BenchmarkEngine_Measurement(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelTrials compares serial (Parallelism=1) against the
+// worker-pool default (Parallelism=0 → GOMAXPROCS) on the two heaviest
+// Monte Carlo loops. Results are bit-identical either way (see the
+// determinism tests); this measures wall clock only. On a single-core
+// host the pair should be ~equal; the speedup shows up with cores.
+func BenchmarkParallelTrials(b *testing.B) {
+	modes := []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}}
+	for _, m := range modes {
+		b.Run("E6/"+m.name, func(b *testing.B) {
+			cfg := experiments.E6Config{BlockCounts: []int{32}, Rounds: []int{1, 3},
+				Trials: 25, Parallelism: m.par}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if rows := experiments.E6SMARM(cfg); len(rows) != 2 {
+					b.Fatal("rows")
+				}
+			}
+		})
+		b.Run("Table1/"+m.name, func(b *testing.B) {
+			cfg := experiments.Table1Config{Trials: 3, SMARMRounds: 5, Parallelism: m.par}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if rows := experiments.Table1(cfg); len(rows) < 10 {
+					b.Fatal("rows")
+				}
+			}
+		})
+	}
+}
+
+// Benchmark_DeriveOrder isolates the traversal-order hot path: a fresh
+// slice + fresh HMAC per call (the old DeriveOrderRegion behavior)
+// against the reusable-buffer + pooled-PRF AppendOrderRegion the verify
+// loops now use.
+func Benchmark_DeriveOrder(b *testing.B) {
+	key := []byte("bench-perm-key-0123456789abcdef")
+	nonce := []byte("bench-nonce")
+	const blocks = 256
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if o := core.DeriveOrderRegion(key, nonce, i, 0, blocks, true); len(o) != blocks {
+				b.Fatal("order")
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		b.ReportAllocs()
+		var order []int
+		for i := 0; i < b.N; i++ {
+			order = core.AppendOrderRegion(order[:0], key, nonce, i, 0, blocks, true)
+			if len(order) != blocks {
+				b.Fatal("order")
+			}
+		}
+	})
+}
+
+// Benchmark_TaggerReuse isolates the per-measurement MAC state: a fresh
+// tagger per round (the old engine behavior) against the pooled
+// acquire/release cycle.
+func Benchmark_TaggerReuse(b *testing.B) {
+	scheme := suite.Scheme{Hash: suite.SHA256, Key: []byte("bench-attestation-key")}
+	block := make([]byte, 4096)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tg, err := scheme.NewTagger()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tg.Write(block)
+			if _, err := tg.Tag(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tg, err := scheme.AcquireTagger()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tg.Write(block)
+			if _, err := tg.Tag(); err != nil {
+				b.Fatal(err)
+			}
+			scheme.ReleaseTagger(tg)
+		}
+	})
+}
+
 func byteLabel(n int) string {
 	switch {
 	case n >= 1<<20:

@@ -9,6 +9,8 @@
 //	figures -exp e5|e6|e8        # section experiments
 //	figures -ablation a1..a4     # ablations
 //	figures -quick               # reduced trial counts
+//	figures -parallel 4          # trial worker count (results identical)
+//	figures -cpuprofile cpu.out  # write a pprof CPU profile
 package main
 
 import (
@@ -17,9 +19,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"saferatt/internal/costmodel"
 	"saferatt/internal/experiments"
+	"saferatt/internal/parallel"
 	"saferatt/internal/sim"
 )
 
@@ -32,8 +36,27 @@ func main() {
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "reduced Monte Carlo trial counts")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSV files into this directory")
+		par      = flag.Int("parallel", 0, "Monte Carlo worker count (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *par > 0 {
+		parallel.SetDefault(*par)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	trials := func(full int) int {
 		if *quick {

@@ -6,6 +6,8 @@ import (
 	"encoding/binary"
 	"io"
 	"math/rand/v2"
+
+	"saferatt/internal/suite"
 )
 
 // The canonical measurement encoding binds the challenge, round number,
@@ -49,24 +51,49 @@ func DeriveOrder(permKey, nonce []byte, round, n int, shuffled bool) []int {
 // [start, start+count): TyTAN-style per-process measurement traverses
 // only the measured process's region.
 func DeriveOrderRegion(permKey, nonce []byte, round, start, count int, shuffled bool) []int {
-	order := make([]int, count)
+	return AppendOrderRegion(nil, permKey, nonce, round, start, count, shuffled)
+}
+
+// AppendOrderRegion is DeriveOrderRegion writing into dst's capacity:
+// verification loops that re-derive an order per report can hand back
+// the previous call's slice (typically as order[:0]) and traverse
+// memory without a fresh allocation per round. The returned slice has
+// length count. The PRF state is pooled for the same reason.
+func AppendOrderRegion(dst []int, permKey, nonce []byte, round, start, count int, shuffled bool) []int {
+	var order []int
+	if cap(dst) >= count {
+		order = dst[:count]
+	} else {
+		order = make([]int, count)
+	}
 	for i := range order {
 		order[i] = start + i
 	}
 	if !shuffled || count < 2 {
 		return order
 	}
-	n := count
-	mac := hmac.New(sha256.New, permKey)
+	mac, err := suite.AcquireMAC(suite.SHA256, permKey)
+	if err != nil {
+		// Degenerate keys (empty permKey) fall back to an unpooled HMAC
+		// so the historical behavior is preserved byte for byte.
+		mac = hmac.New(sha256.New, permKey)
+	}
 	writeMeasurementHeader(mac, nonce, round)
-	seed := mac.Sum(nil)
+	var seed [sha256Size]byte
+	mac.Sum(seed[:0])
+	if err == nil {
+		suite.ReleaseMAC(suite.SHA256, permKey, mac)
+	}
 	rng := rand.New(rand.NewPCG(
 		binary.BigEndian.Uint64(seed[:8]),
 		binary.BigEndian.Uint64(seed[8:16]),
 	))
-	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	rng.Shuffle(count, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	return order
 }
+
+// sha256Size is the HMAC-SHA-256 output length used for order seeds.
+const sha256Size = 32
 
 // ExpectedStream writes the canonical measurement byte stream for a
 // reference memory image to w: the verifier-side mirror of what the

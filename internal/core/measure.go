@@ -32,6 +32,7 @@ type Measurement struct {
 	Hooks Hooks
 
 	tagger   suite.Tagger
+	scm      suite.Scheme
 	order    []int
 	pos      int
 	cov      *mem.Coverage
@@ -82,7 +83,14 @@ func (m *Measurement) Start(done func(*Report, error)) {
 		m.finishErr(err)
 		return
 	}
-	m.tagger, err = scheme.NewTagger()
+	if err := scheme.Validate(); err != nil {
+		m.finishErr(err)
+		return
+	}
+	m.scm = scheme
+	// The tagger's hash state is pooled: a Monte Carlo sweep reuses a
+	// handful of states instead of allocating one per round.
+	m.tagger, err = scheme.AcquireTagger()
 	if err != nil {
 		m.finishErr(err)
 		return
@@ -121,8 +129,10 @@ func (m *Measurement) begin() {
 	if m.opts.Data.Policy == DataZeroed {
 		// Wipe D before measuring (§2.3): nothing — malware included —
 		// survives in a zeroed region. MP performs the writes, so they
-		// precede any locking below.
-		zero := make([]byte, memory.BlockSize())
+		// precede any locking below. The zero block is a shared
+		// process-wide buffer (WriteBlock copies), never written after
+		// creation, so measurements need not allocate it per round.
+		zero := zeroBlock(memory.BlockSize())
 		for _, b := range m.opts.Data.Blocks {
 			if err := memory.WriteBlock(b, zero); err != nil {
 				// Data blocks are validated non-ROM and nothing is
@@ -223,6 +233,8 @@ func (m *Measurement) coverBlock(b int) {
 // finish runs at t_e.
 func (m *Measurement) finish() {
 	tag, err := m.tagger.Tag()
+	m.scm.ReleaseTagger(m.tagger)
+	m.tagger = nil
 	te := m.now()
 
 	switch {
@@ -238,10 +250,9 @@ func (m *Measurement) finish() {
 	}
 	m.dev.Trace.Addf(te, trace.KindMeasureEnd, m.task.Name(), "%s round %d (t_e)", m.opts.Mechanism, m.round)
 
-	scheme, _ := m.scheme()
 	m.report = &Report{
 		Mechanism:   m.opts.Mechanism,
-		Scheme:      scheme.Name(),
+		Scheme:      m.scm.Name(),
 		Nonce:       m.nonce,
 		Round:       m.round,
 		Counter:     m.Counter,

@@ -1,0 +1,28 @@
+package core
+
+import "sync"
+
+// Shared scratch state for the measurement hot path. Every buffer here
+// is either immutable after creation (the zero block) or handed out
+// exclusively, so the parallel trial engine can run many measurements
+// concurrently against these helpers.
+
+var (
+	zeroMu  sync.Mutex
+	zeroBuf []byte
+)
+
+// zeroBlock returns a shared all-zero buffer of at least n bytes,
+// growing the process-wide buffer on demand. Callers must treat the
+// result as read-only; mem.WriteBlock copies, so feeding it to block
+// wipes is safe. Readers holding a previous (smaller) buffer keep a
+// valid slice — growth allocates a new array rather than mutating the
+// old one.
+func zeroBlock(n int) []byte {
+	zeroMu.Lock()
+	defer zeroMu.Unlock()
+	if len(zeroBuf) < n {
+		zeroBuf = make([]byte, n)
+	}
+	return zeroBuf[:n]
+}

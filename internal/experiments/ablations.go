@@ -11,6 +11,7 @@ import (
 	"saferatt/internal/device"
 	"saferatt/internal/malware"
 	"saferatt/internal/mem"
+	"saferatt/internal/parallel"
 	"saferatt/internal/qoa"
 	"saferatt/internal/safety"
 	"saferatt/internal/sim"
@@ -43,8 +44,10 @@ func AblationSMARMBlocks(blockCounts []int, trials int, seed uint64) []A1Row {
 	for _, n := range blockCounts {
 		blockSize := memSize / n
 		opts := core.Preset(core.SMARM, suite.SHA256)
-		escapes := 0
-		for i := 0; i < trials; i++ {
+		// Trials shard across the package-default worker count; the
+		// ablation helpers take positional arguments, so per-call knobs
+		// go through parallel.SetDefault.
+		escapes := parallel.Sum(0, trials, func(i int) int {
 			s := seed + uint64(i+n*13)
 			w := NewWorld(WorldConfig{Seed: s, MemSize: memSize, BlockSize: blockSize,
 				ROMBlocks: 1, Opts: opts})
@@ -52,9 +55,10 @@ func AblationSMARMBlocks(blockCounts []int, trials int, seed uint64) []A1Row {
 			mustInfect(w, mw.Infect, int(s)%(n-1)+1)
 			reports := w.RunSessionToEnd(opts, []byte{byte(i), byte(n)}, mpPrio, mw.Hooks())
 			if w.VerifyLocally(reports[0], true) {
-				escapes++
+				return 1
 			}
-		}
+			return 0
+		})
 		p := costmodel.ODROIDXU4()
 		rows = append(rows, A1Row{
 			Blocks:         n,
@@ -93,22 +97,22 @@ func AblationLockGranularity(blockCounts []int, seed uint64) []A2Row {
 		blockCounts = []int{8, 16, 32, 64, 128}
 	}
 	const memSize = 256 << 10
-	var rows []A2Row
-	for _, id := range []core.MechanismID{core.AllLock, core.DecLock, core.IncLock} {
-		for _, n := range blockCounts {
-			cfg := Table1Config{Blocks: n, BlockSize: memSize / n, Trials: 1, Seed: seed}
-			cfg.setDefaults()
-			cfg.Blocks = n
-			cfg.BlockSize = memSize / n
-			opts := core.Preset(id, suite.SHA256)
-			rows = append(rows, A2Row{
-				Mechanism:    id,
-				Blocks:       n,
-				Availability: availability(cfg, opts, mpPrio),
-			})
+	mechs := []core.MechanismID{core.AllLock, core.DecLock, core.IncLock}
+	// Each (mechanism, block-count) point is an independent simulation.
+	return parallel.Map(0, len(mechs)*len(blockCounts), func(i int) A2Row {
+		id := mechs[i/len(blockCounts)]
+		n := blockCounts[i%len(blockCounts)]
+		cfg := Table1Config{Blocks: n, BlockSize: memSize / n, Trials: 1, Seed: seed}
+		cfg.setDefaults()
+		cfg.Blocks = n
+		cfg.BlockSize = memSize / n
+		opts := core.Preset(id, suite.SHA256)
+		return A2Row{
+			Mechanism:    id,
+			Blocks:       n,
+			Availability: availability(cfg, opts, mpPrio),
 		}
-	}
-	return rows
+	})
 }
 
 // RenderA2 prints the granularity ablation.
@@ -194,7 +198,7 @@ func AblationErasmusScheduling(seed uint64) []A3Row {
 			Missed:        fa.MissedDeadlines(),
 		}
 	}
-	return []A3Row{run(false), run(true)}
+	return parallel.Map(0, 2, func(i int) A3Row { return run(i == 1) })
 }
 
 // RenderA3 prints the scheduling ablation.
@@ -224,13 +228,11 @@ func AblationSwarmScale(sizes []int, seed uint64) []A4Row {
 	if sizes == nil {
 		sizes = []int{2, 4, 8, 16, 32, 64}
 	}
-	var rows []A4Row
-	for _, mode := range []swarm.NodeMode{swarm.ModeAggregate, swarm.ModeRelay} {
-		for _, n := range sizes {
-			rows = append(rows, swarmPoint(n, seed, mode))
-		}
-	}
-	return rows
+	modes := []swarm.NodeMode{swarm.ModeAggregate, swarm.ModeRelay}
+	// Each (mode, size) point builds a private kernel, link and swarm.
+	return parallel.Map(0, len(modes)*len(sizes), func(i int) A4Row {
+		return swarmPoint(sizes[i%len(sizes)], seed, modes[i/len(sizes)])
+	})
 }
 
 func swarmPoint(n int, seed uint64, mode swarm.NodeMode) A4Row {

@@ -6,6 +6,7 @@ import (
 
 	"saferatt/internal/core"
 	"saferatt/internal/costmodel"
+	"saferatt/internal/parallel"
 	"saferatt/internal/safety"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
@@ -37,8 +38,9 @@ func AblationDeviceClass(deadline sim.Duration) []A5Row {
 		deadline = sim.Second
 	}
 	profiles := []*costmodel.Profile{costmodel.ODROIDXU4(), costmodel.LowEndMCU()}
-	rows := make([]A5Row, 0, len(profiles))
-	for _, p := range profiles {
+	// One independent simulation per device profile.
+	return parallel.Map(0, len(profiles), func(i int) A5Row {
+		p := profiles[i]
 		row := A5Row{Profile: p.Name}
 		// Largest power-of-two size measurable within the deadline.
 		for size := 4 << 10; size <= 8<<30; size <<= 1 {
@@ -51,9 +53,8 @@ func AblationDeviceClass(deadline sim.Duration) []A5Row {
 		}
 		row.InterruptibleLatency = p.StreamTime(suite.SHA256, 4096) + p.CtxSwitch
 		row.SimLatency = a5Simulate(p)
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // a5Simulate runs the fire-alarm collision at 1 MiB on the given

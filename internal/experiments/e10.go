@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"saferatt/internal/core"
+	"saferatt/internal/parallel"
 	"saferatt/internal/safety"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
@@ -31,6 +32,8 @@ type E10Config struct {
 	Horizon      sim.Duration   // default 60s
 	MemSize      int            // default 8 MiB (≈59ms atomic MP)
 	Seed         uint64
+	// Parallelism is the sweep worker count (0 = parallel.Default()).
+	Parallelism int
 }
 
 func (c *E10Config) setDefaults() {
@@ -51,12 +54,11 @@ func (c *E10Config) setDefaults() {
 // ignores unsolicited traffic entirely and keeps its own schedule.
 func E10DoS(cfg E10Config) []E10Row {
 	cfg.setDefaults()
-	var rows []E10Row
-	for _, period := range cfg.FloodPeriods {
-		rows = append(rows, e10Point(cfg, period, false))
-		rows = append(rows, e10Point(cfg, period, true))
-	}
-	return rows
+	// Two independent simulations per flood period (on-demand, SeED),
+	// interleaved in the canonical row order.
+	return parallel.Map(cfg.Parallelism, 2*len(cfg.FloodPeriods), func(i int) E10Row {
+		return e10Point(cfg, cfg.FloodPeriods[i/2], i%2 == 1)
+	})
 }
 
 func e10Point(cfg E10Config, floodPeriod sim.Duration, seedScheme bool) E10Row {

@@ -6,6 +6,7 @@ import (
 
 	"saferatt/internal/core"
 	"saferatt/internal/costmodel"
+	"saferatt/internal/parallel"
 	"saferatt/internal/safety"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
@@ -37,6 +38,8 @@ type E5Config struct {
 	SensorPeriod  sim.Duration // default 1 s (the paper's example)
 	Deadline      sim.Duration // default 1 s
 	BlockSize     int          // default 64 KiB
+	// Parallelism is the sweep worker count (0 = parallel.Default()).
+	Parallelism int
 }
 
 func (c *E5Config) setDefaults() {
@@ -60,19 +63,32 @@ func (c *E5Config) setDefaults() {
 	}
 }
 
-// E5FireAlarm runs the scenario sweep.
+// E5FireAlarm runs the scenario sweep. Every (mechanism, size) point is
+// an independent deterministic simulation, so the sweep shards across
+// workers with the rows in their canonical order.
 func E5FireAlarm(cfg E5Config) []E5Row {
 	cfg.setDefaults()
-	var rows []E5Row
+	type point struct {
+		id       core.MechanismID
+		size     int
+		analytic bool
+	}
+	var pts []point
 	for _, id := range cfg.Mechanisms {
 		for _, size := range cfg.SimSizes {
-			rows = append(rows, e5Simulate(cfg, id, size))
+			pts = append(pts, point{id, size, false})
 		}
 		for _, size := range cfg.AnalyticSizes {
-			rows = append(rows, e5Analytic(cfg, id, size))
+			pts = append(pts, point{id, size, true})
 		}
 	}
-	return rows
+	return parallel.Map(cfg.Parallelism, len(pts), func(i int) E5Row {
+		p := pts[i]
+		if p.analytic {
+			return e5Analytic(cfg, p.id, p.size)
+		}
+		return e5Simulate(cfg, p.id, p.size)
+	})
 }
 
 func e5Simulate(cfg E5Config, id core.MechanismID, size int) E5Row {

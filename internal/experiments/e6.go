@@ -6,6 +6,7 @@ import (
 
 	"saferatt/internal/core"
 	"saferatt/internal/malware"
+	"saferatt/internal/parallel"
 	"saferatt/internal/qoa"
 	"saferatt/internal/suite"
 )
@@ -29,6 +30,9 @@ type E6Config struct {
 	Trials      int   // default 200
 	BlockSize   int   // default 64
 	Seed        uint64
+	// Parallelism is the trial worker count (0 = parallel.Default()).
+	// Results are identical for every value; see internal/parallel.
+	Parallelism int
 }
 
 func (c *E6Config) setDefaults() {
@@ -62,8 +66,9 @@ func E6SMARM(cfg E6Config) []E6Row {
 func e6Point(cfg E6Config, blocks, rounds int) E6Row {
 	opts := core.Preset(core.SMARM, suite.SHA256)
 	opts.Rounds = rounds
-	escaped := 0
-	for i := 0; i < cfg.Trials; i++ {
+	// Each trial is a private World whose seed depends only on (Seed, i),
+	// so trials shard across workers with bit-identical results.
+	escaped := parallel.Sum(cfg.Parallelism, cfg.Trials, func(i int) int {
 		seed := cfg.Seed + uint64(i)*104729 + uint64(blocks*rounds)
 		w := NewWorld(WorldConfig{Seed: seed, MemSize: blocks * cfg.BlockSize,
 			BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
@@ -71,17 +76,13 @@ func e6Point(cfg E6Config, blocks, rounds int) E6Row {
 		mustInfect(w, mw.Infect, int(seed>>3)%(blocks-1)+1)
 		nonce := []byte{byte(i), byte(i >> 8), byte(blocks), byte(rounds)}
 		reports := w.RunSessionToEnd(opts, nonce, mpPrio, mw.Hooks())
-		ok := true
 		for _, rep := range reports {
 			if !w.VerifyLocally(rep, true) {
-				ok = false
-				break
+				return 0
 			}
 		}
-		if ok {
-			escaped++
-		}
-	}
+		return 1
+	})
 	// The malware roves over the writable blocks only (ROM is not a
 	// hideout), so the effective n for the closed form is blocks-ROM.
 	analytic := qoa.SMARMEscape(blocks-1, rounds)

@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"strings"
 
 	"saferatt/internal/core"
 	"saferatt/internal/malware"
+	"saferatt/internal/parallel"
 	"saferatt/internal/qoa"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
@@ -32,6 +32,8 @@ type E7Config struct {
 	Dwells []sim.Duration // default 1..12s
 	Trials int            // default 100
 	Seed   uint64
+	// Parallelism is the trial worker count (0 = parallel.Default()).
+	Parallelism int
 }
 
 func (c *E7Config) setDefaults() {
@@ -66,9 +68,12 @@ func e7Point(cfg E7Config, dwell sim.Duration) E7Row {
 		blocks    = 16
 		blockSize = 256
 	)
-	rng := rand.New(rand.NewPCG(cfg.Seed^uint64(dwell), 0xe7))
-	detected := 0
-	for i := 0; i < cfg.Trials; i++ {
+	// The dwell phase is the trial's only random draw. It comes from a
+	// per-trial RNG derived from (Seed^dwell, i) — not a sweep-wide
+	// stream — so the draw is independent of trial execution order and
+	// the sweep parallelizes deterministically.
+	detected := parallel.Sum(cfg.Parallelism, cfg.Trials, func(i int) int {
+		rng := parallel.TrialRNG(cfg.Seed^uint64(dwell)^0xe7, i)
 		opts := core.Preset(core.SMART, suite.SHA256) // atomic core, as in ERASMUS
 		w := NewWorld(WorldConfig{Seed: uint64(i) + cfg.Seed, MemSize: blocks * blockSize,
 			BlockSize: blockSize, ROMBlocks: 1, Opts: opts})
@@ -93,11 +98,11 @@ func e7Point(cfg E7Config, dwell sim.Duration) E7Row {
 
 		for _, rep := range e.History() {
 			if !w.VerifyLocally(rep, false) {
-				detected++
-				break
+				return 1
 			}
 		}
-	}
+		return 0
+	})
 	analytic := qoa.TransientDetectProb(dwell, cfg.TM)
 	return E7Row{
 		TM: cfg.TM, Dwell: dwell, Trials: cfg.Trials, Detected: detected,

@@ -7,6 +7,7 @@ import (
 	"saferatt/internal/channel"
 	"saferatt/internal/core"
 	"saferatt/internal/malware"
+	"saferatt/internal/parallel"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
 )
@@ -45,6 +46,8 @@ type E8Config struct {
 	Period         sim.Duration // SeED base period, default 5s
 	ScheduleTrials int          // default 40
 	Seed           uint64
+	// Parallelism is the trial worker count (0 = parallel.Default()).
+	Parallelism int
 }
 
 func (c *E8Config) setDefaults() {
@@ -66,9 +69,9 @@ func (c *E8Config) setDefaults() {
 func E8SeED(cfg E8Config) E8Result {
 	cfg.setDefaults()
 	res := E8Result{ScheduleTrials: cfg.ScheduleTrials}
-	for _, loss := range cfg.LossRates {
-		res.LossRows = append(res.LossRows, e8Loss(cfg, loss))
-	}
+	res.LossRows = parallel.Map(cfg.Parallelism, len(cfg.LossRates), func(i int) E8LossRow {
+		return e8Loss(cfg, cfg.LossRates[i])
+	})
 	res.ReplayInjected, res.ReplayAccepted = e8Replay(cfg)
 	res.SecretEscapes, res.LeakedEscapes = e8Schedule(cfg)
 	return res
@@ -195,11 +198,16 @@ func e8Schedule(cfg E8Config) (secretEscapes, leakedEscapes int) {
 		return true
 	}
 
-	for i := 0; i < cfg.ScheduleTrials; i++ {
-		if run(i, false) {
+	// Trials are seeded by (Seed, trial, leaked) only, so the pairs
+	// shard across workers; the counts reduce after the barrier.
+	outcomes := parallel.Map(cfg.Parallelism, cfg.ScheduleTrials, func(i int) [2]bool {
+		return [2]bool{run(i, false), run(i, true)}
+	})
+	for _, o := range outcomes {
+		if o[0] {
 			secretEscapes++
 		}
-		if run(i, true) {
+		if o[1] {
 			leakedEscapes++
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"saferatt/internal/costmodel"
 	"saferatt/internal/device"
 	"saferatt/internal/mem"
+	"saferatt/internal/parallel"
 	"saferatt/internal/sim"
 	"saferatt/internal/softratt"
 )
@@ -35,6 +36,8 @@ type E9Config struct {
 	Iterations int            // default 1_000_000
 	Trials     int            // default 20
 	Seed       uint64
+	// Parallelism is the trial worker count (0 = parallel.Default()).
+	Parallelism int
 }
 
 func (c *E9Config) setDefaults() {
@@ -103,11 +106,16 @@ func e9Point(cfg E9Config, overheadPct int, jitter sim.Duration) E9Row {
 		return v.Verdicts[0]
 	}
 
-	for i := 0; i < cfg.Trials; i++ {
-		if run(i, true).OK {
+	// Each trial seeds its kernel, memory and link purely from
+	// (Seed, trial, adversarial), so the pairs shard across workers.
+	outcomes := parallel.Map(cfg.Parallelism, cfg.Trials, func(i int) [2]bool {
+		return [2]bool{run(i, true).OK, run(i, false).OK}
+	})
+	for _, o := range outcomes {
+		if o[0] {
 			row.FalseNegatives++
 		}
-		if !run(i, false).OK {
+		if !o[1] {
 			row.FalsePositives++
 		}
 	}

@@ -18,8 +18,9 @@
 package experiments
 
 import (
-	"bytes"
+	"io"
 	"math/rand/v2"
+	"sync"
 
 	"saferatt/internal/channel"
 	"saferatt/internal/core"
@@ -99,15 +100,29 @@ func NewWorld(cfg WorldConfig) *World {
 
 func adversaryOrNil(a channel.Adversary) channel.Adversary { return a }
 
+// verifyOrders recycles traversal-order slices across VerifyLocally
+// calls; Monte Carlo loops verify thousands of reports, and the order
+// is only needed while the expected stream is being fed to the tagger.
+var verifyOrders = sync.Pool{New: func() any { return new([]int) }}
+
 // VerifyLocally recomputes the expected tag for a report against the
 // world's golden image without going through the link — the
-// ground-truth detection check used by Monte Carlo experiments.
+// ground-truth detection check used by Monte Carlo experiments. It is
+// the innermost hot path of every trial loop: the expected stream is
+// fed straight into pooled hash state (no image-sized buffer) and the
+// derived order reuses a pooled slice. Safe to call from concurrent
+// trials (each World is private to its trial).
 func (w *World) VerifyLocally(rep *core.Report, shuffled bool) bool {
 	scheme := suite.Scheme{Hash: suite.SHA256, Key: w.Dev.AttestationKey}
-	order := core.DeriveOrder(w.Dev.AttestationKey, rep.Nonce, rep.Round, w.Mem.NumBlocks(), shuffled)
-	var buf bytes.Buffer
-	core.ExpectedStream(&buf, w.Ref, w.Mem.BlockSize(), rep.Nonce, rep.Round, order)
-	ok, err := scheme.VerifyTag(&buf, rep.Tag)
+	op := verifyOrders.Get().(*[]int)
+	order := core.AppendOrderRegion((*op)[:0], w.Dev.AttestationKey, rep.Nonce, rep.Round,
+		0, w.Mem.NumBlocks(), shuffled)
+	ok, err := scheme.VerifyStream(func(wr io.Writer) error {
+		core.ExpectedStream(wr, w.Ref, w.Mem.BlockSize(), rep.Nonce, rep.Round, order)
+		return nil
+	}, rep.Tag)
+	*op = order
+	verifyOrders.Put(op)
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}

@@ -7,6 +7,7 @@ import (
 	"saferatt/internal/core"
 	"saferatt/internal/malware"
 	"saferatt/internal/mem"
+	"saferatt/internal/parallel"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
 )
@@ -55,6 +56,9 @@ type Table1Config struct {
 	Trials      int    // Monte Carlo trials per adversary cell, default 20
 	SMARMRounds int    // default 13 (the paper's prescription)
 	Seed        uint64 // base randomness seed
+	// Parallelism is the worker count for both the mechanism rows and
+	// the Monte Carlo trials within each cell (0 = parallel.Default()).
+	Parallelism int
 }
 
 func (c *Table1Config) setDefaults() {
@@ -103,10 +107,14 @@ const (
 // E7 for the full sweep).
 func Table1(cfg Table1Config) []Table1Row {
 	cfg.setDefaults()
-	var rows []Table1Row
 
+	// The SMART baseline is shared by every row's Overhead column, so it
+	// runs before the fan-out; each mechanism row is then an independent
+	// bundle of simulations and shards across workers in table order.
 	baseline := measureDuration(cfg, core.Preset(core.SMART, suite.SHA256))
-	for _, id := range core.Mechanisms() {
+	mechs := core.Mechanisms()
+	rows := parallel.Map(cfg.Parallelism, len(mechs), func(mi int) Table1Row {
+		id := mechs[mi]
 		opts := core.Preset(id, suite.SHA256)
 		if id == core.SMARM {
 			opts.Rounds = cfg.SMARMRounds
@@ -136,8 +144,8 @@ func Table1(cfg Table1Config) []Table1Row {
 		row.ConsistentAtTS, row.ConsistentAtTE = consistency(cfg, opts, mpPriority)
 		row.PreemptLatency = preemptLatency(cfg, opts, mpPriority)
 		row.Overhead = float64(measureDuration(cfg, opts)) / float64(baseline)
-		rows = append(rows, row)
-	}
+		return row
+	})
 
 	rows = append(rows, erasmusRow(cfg, baseline))
 	return rows
@@ -153,25 +161,20 @@ func mustInfect(w *World, infect func(int) error, block int) {
 // mechanism; returns the fraction of trials where every round verified
 // clean (the adversary escaped).
 func escapeRate(cfg Table1Config, opts core.Options, mpPriority int, plant func(*World, uint64) core.Hooks) float64 {
-	escapes := 0
-	for i := 0; i < cfg.Trials; i++ {
+	escapes := parallel.Sum(cfg.Parallelism, cfg.Trials, func(i int) int {
 		seed := cfg.Seed + uint64(i)*7919
 		w := NewWorld(WorldConfig{Seed: seed, MemSize: cfg.Blocks * cfg.BlockSize,
 			BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
 		hooks := plant(w, seed)
 		nonce := []byte{byte(i), byte(i >> 8), 0x42}
 		reports := w.RunSessionToEnd(opts, nonce, mpPriority, hooks)
-		escaped := true
 		for _, rep := range reports {
 			if !w.VerifyLocally(rep, opts.Shuffled) {
-				escaped = false
-				break
+				return 0
 			}
 		}
-		if escaped {
-			escapes++
-		}
-	}
+		return 1
+	})
 	return float64(escapes) / float64(cfg.Trials)
 }
 

@@ -1,0 +1,145 @@
+// Package parallel is the deterministic trial-execution engine behind
+// every Monte Carlo experiment: it shards independent trials across a
+// bounded pool of goroutines while keeping the results bit-identical
+// to a serial run.
+//
+// Determinism comes from three rules, all enforced here or by the
+// derivation helpers in rng.go:
+//
+//  1. Each trial's randomness is a pure function of (seed, trialIndex)
+//     (splitmix64-style derivation, see TrialSeed) — never of a shared
+//     RNG whose draw order would depend on scheduling.
+//  2. Results are gathered into an index-ordered slice (Map), so the
+//     output layout is independent of completion order.
+//  3. Any reduction (summing escapes, finding maxima) happens after the
+//     pool barrier, over the ordered slice.
+//
+// Workers = 1 degenerates to a plain loop on the caller's goroutine,
+// reproducing the historical serial behavior exactly — pin it when
+// debugging with breakpoints or stepping through virtual-time traces.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide default parallelism; 0 means
+// "resolve to runtime.GOMAXPROCS(0) at use time" so the default tracks
+// later GOMAXPROCS changes.
+var defaultWorkers atomic.Int64
+
+// Default returns the process-wide default worker count used when a
+// config leaves its Parallelism field zero. It is GOMAXPROCS(0) unless
+// overridden with SetDefault.
+func Default() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDefault overrides the process-wide default worker count (the
+// -parallel flag of cmd/figures). n <= 0 restores the GOMAXPROCS
+// default.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Resolve maps a config's Parallelism field to an effective worker
+// count: positive values are used as-is, zero resolves to Default().
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return Default()
+}
+
+// For runs fn(i) for every i in [0, n) across at most `workers`
+// goroutines; workers == 0 resolves to Default(), so config structs can
+// pass their Parallelism field through unmodified. Iterations are
+// claimed from an atomic counter (work-stealing, so uneven trial costs
+// balance out); fn must therefore not assume any execution order
+// between indices. workers == 1 runs the loop inline on the caller's
+// goroutine in index order — the exact historical serial behavior.
+//
+// A panic in any iteration is re-raised on the caller's goroutine after
+// the pool drains, so experiment wiring errors (which panic by
+// convention) surface identically in serial and parallel runs.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Keep the first panic; once one fires, workers
+					// drain the counter without running further trials.
+					if panicked.CompareAndSwap(false, true) {
+						panicVal = r
+					}
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) across at most `workers`
+// goroutines and returns the results as an index-ordered slice:
+// out[i] = fn(i) regardless of completion order. This is the gather
+// half of the shard/gather contract — reductions over out happen after
+// the barrier and are therefore deterministic.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Sum runs fn(i) for every i in [0, n) in parallel and returns the
+// total — the commonest Monte Carlo reduction (counting escapes or
+// detections). Integer addition is commutative, and the per-index
+// values are gathered before summing, so the result is
+// schedule-independent.
+func Sum(workers, n int, fn func(i int) int) int {
+	vals := Map(workers, n, fn)
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

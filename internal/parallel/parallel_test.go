@@ -1,0 +1,136 @@
+package parallel
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	var order []int
+	For(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	For(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestMapIsIndexOrderedAndScheduleIndependent(t *testing.T) {
+	fn := func(i int) int { return i*i - 7*i }
+	want := Map(1, 500, fn)
+	for _, workers := range []int{2, 4, 16} {
+		if got := Map(workers, 500, fn); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from serial", workers)
+		}
+	}
+}
+
+func TestSumMatchesSerial(t *testing.T) {
+	fn := func(i int) int { return i % 3 }
+	want := Sum(1, 1000, fn)
+	if got := Sum(8, 1000, fn); got != want {
+		t.Fatalf("parallel sum %d, serial %d", got, want)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			For(workers, 100, func(i int) {
+				if i == 37 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestDefaultAndResolve(t *testing.T) {
+	SetDefault(0)
+	defer SetDefault(0)
+	if got := Default(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Default() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefault(3)
+	if got := Default(); got != 3 {
+		t.Fatalf("Default() after SetDefault(3) = %d", got)
+	}
+	if got := Resolve(0); got != 3 {
+		t.Fatalf("Resolve(0) = %d, want default 3", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d", got)
+	}
+	SetDefault(-5)
+	if got := Default(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetDefault(-5) should restore GOMAXPROCS default, got %d", got)
+	}
+}
+
+func TestTrialSeedIsPureAndSpread(t *testing.T) {
+	if TrialSeed(42, 7) != TrialSeed(42, 7) {
+		t.Fatal("TrialSeed not pure")
+	}
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 4; seed++ {
+		for trial := 0; trial < 1000; trial++ {
+			v := TrialSeed(seed, trial)
+			if seen[v] {
+				t.Fatalf("collision at seed=%d trial=%d", seed, trial)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestTrialRNGIndependentOfDrawOrder(t *testing.T) {
+	// Trial 5's first draw must not depend on how much trial 4 drew.
+	a := TrialRNG(9, 5).Uint64()
+	r4 := TrialRNG(9, 4)
+	for i := 0; i < 100; i++ {
+		r4.Uint64()
+	}
+	if b := TrialRNG(9, 5).Uint64(); a != b {
+		t.Fatal("TrialRNG draw depends on other trials")
+	}
+}
+
+func TestSplitMix64KnownVectors(t *testing.T) {
+	// Reference outputs of the splitmix64 stream seeded with 0
+	// (Vigna's splitmix64.c): first two outputs.
+	if got := SplitMix64(0); got != 0xE220A8397B1DCDAF {
+		t.Fatalf("SplitMix64(0) = %#x", got)
+	}
+	if got := SplitMix64(splitmixGolden); got != 0x6E789E6AA1B965F4 {
+		t.Fatalf("SplitMix64(golden) = %#x", got)
+	}
+}

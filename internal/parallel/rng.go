@@ -1,0 +1,50 @@
+package parallel
+
+import "math/rand/v2"
+
+// Per-trial randomness derivation. A Monte Carlo loop that draws from
+// one shared RNG is order-dependent: trial i's values depend on how
+// many draws trials 0..i-1 consumed, which breaks under work-stealing.
+// Deriving every trial's generator from (seed, trialIndex) makes each
+// trial a pure function of its index, so serial and parallel runs are
+// bit-identical.
+//
+// The derivation is the splitmix64 finalizer (Steele, Lea, Flood;
+// Vigna's reference constants) applied to the trial's position in the
+// golden-ratio sequence — the same construction java.util.SplittableRandom
+// and xoshiro seeding use. It is a bijective avalanche mix, so distinct
+// (seed, trial) pairs map to well-spread 64-bit values even when seeds
+// and indices are small consecutive integers.
+
+const splitmixGolden = 0x9E3779B97F4A7C15
+
+// SplitMix64 applies the splitmix64 finalizer to x: a fast bijective
+// mix with full avalanche, suitable for turning structured integers
+// (seeds, indices, parameter hashes) into independent-looking 64-bit
+// values.
+func SplitMix64(x uint64) uint64 {
+	x += splitmixGolden
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// TrialSeed derives the 64-bit seed of trial i from the experiment
+// seed: the splitmix64 output at position i+1 of the stream seeded
+// with seed. Pure in (seed, trial), O(1), and distinct trials of the
+// same experiment never collide (the finalizer is a bijection over the
+// golden-ratio-strided counter).
+func TrialSeed(seed uint64, trial int) uint64 {
+	return SplitMix64(seed + uint64(trial)*splitmixGolden)
+}
+
+// TrialRNG returns trial i's private generator, seeded from
+// (seed, trial) via TrialSeed. Every trial gets its own PCG instance:
+// no mutation is shared across goroutines and draw counts of one trial
+// cannot influence another.
+func TrialRNG(seed uint64, trial int) *rand.Rand {
+	return rand.New(rand.NewPCG(
+		TrialSeed(seed, trial),
+		TrialSeed(^seed, trial),
+	))
+}

@@ -1,0 +1,136 @@
+package suite
+
+import (
+	"crypto/hmac"
+	"hash"
+	"io"
+	"sync"
+)
+
+// Hash-state pooling. A Monte Carlo trial allocates a fresh MAC or hash
+// state for every measurement round and every verification — for
+// HMAC-SHA-256 that is two inner digest states plus padded key blocks,
+// per block-traversal. The states are fully reusable via Reset, so they
+// are pooled here, keyed by (algorithm, MAC key): a keyed state is
+// bound to its key at construction and must never be handed to a
+// scheme with a different key.
+//
+// All pools are safe for concurrent use (the parallel trial engine
+// acquires from many goroutines at once).
+
+type poolKey struct {
+	id  HashID
+	key string // MAC key; "" for unkeyed hashes
+}
+
+var hashPools sync.Map // poolKey -> *sync.Pool of hash.Hash
+
+func poolFor(k poolKey) *sync.Pool {
+	if p, ok := hashPools.Load(k); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := hashPools.LoadOrStore(k, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// AcquireHash returns a ready-to-write unkeyed hash for id, reusing a
+// pooled state when one is available. Pair with ReleaseHash.
+func AcquireHash(id HashID) (hash.Hash, error) {
+	if h, ok := poolFor(poolKey{id: id}).Get().(hash.Hash); ok {
+		return h, nil
+	}
+	return NewHash(id)
+}
+
+// ReleaseHash resets h and returns it to id's pool. h must not be used
+// after release.
+func ReleaseHash(id HashID, h hash.Hash) {
+	if h == nil {
+		return
+	}
+	h.Reset()
+	poolFor(poolKey{id: id}).Put(h)
+}
+
+// AcquireMAC returns a ready-to-write keyed MAC for (id, key), reusing
+// a pooled state when one is available. Pair with ReleaseMAC using the
+// same id and key.
+func AcquireMAC(id HashID, key []byte) (hash.Hash, error) {
+	if h, ok := poolFor(poolKey{id: id, key: string(key)}).Get().(hash.Hash); ok {
+		return h, nil
+	}
+	return NewMAC(id, key)
+}
+
+// ReleaseMAC resets h and returns it to the (id, key) pool. h must have
+// been acquired with exactly this id and key, and must not be used
+// after release.
+func ReleaseMAC(id HashID, key []byte, h hash.Hash) {
+	if h == nil {
+		return
+	}
+	h.Reset()
+	poolFor(poolKey{id: id, key: string(key)}).Put(h)
+}
+
+// AcquireTagger is NewTagger backed by the hash-state pool: the
+// returned Tagger wraps a pooled (or freshly built) state. Callers that
+// produce many measurements — the engine's per-round taggers, bulk
+// verification — should pair it with ReleaseTagger; NewTagger remains
+// for one-shot uses.
+func (s Scheme) AcquireTagger() (Tagger, error) {
+	if s.Signer != nil {
+		h, err := AcquireHash(s.Hash)
+		if err != nil {
+			return nil, err
+		}
+		return &signTagger{h: h, signer: s.Signer}, nil
+	}
+	m, err := AcquireMAC(s.Hash, s.Key)
+	if err != nil {
+		return nil, err
+	}
+	return &macTagger{h: m}, nil
+}
+
+// ReleaseTagger returns t's hash state to the pool. t must have been
+// produced by s.AcquireTagger and must not be used afterwards. Safe on
+// nil.
+func (s Scheme) ReleaseTagger(t Tagger) {
+	switch tt := t.(type) {
+	case *macTagger:
+		ReleaseMAC(s.Hash, s.Key, tt.h)
+		tt.h = nil
+	case *signTagger:
+		ReleaseHash(s.Hash, tt.h)
+		tt.h = nil
+	}
+}
+
+// VerifyStream checks tag over the canonical byte stream produced by
+// emit, which receives the tagger as its writer. Unlike VerifyTag this
+// needs no intermediate buffer holding the whole attested image — the
+// expected stream is fed straight into pooled hash state — which is
+// what every Monte Carlo verification loop should use.
+func (s Scheme) VerifyStream(emit func(w io.Writer) error, tag []byte) (bool, error) {
+	if s.Signer != nil {
+		h, err := AcquireHash(s.Hash)
+		if err != nil {
+			return false, err
+		}
+		defer ReleaseHash(s.Hash, h)
+		if err := emit(h); err != nil {
+			return false, err
+		}
+		return s.Signer.Verify(h.Sum(nil), tag) == nil, nil
+	}
+	m, err := AcquireMAC(s.Hash, s.Key)
+	if err != nil {
+		return false, err
+	}
+	defer ReleaseMAC(s.Hash, s.Key, m)
+	if err := emit(m); err != nil {
+		return false, err
+	}
+	return hmac.Equal(m.Sum(nil), tag), nil
+}

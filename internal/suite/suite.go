@@ -112,16 +112,24 @@ type Scheme struct {
 
 // Validate reports whether the scheme is well formed. AES-CMAC is a
 // keyed-only primitive: valid in MAC mode, invalid for hash-and-sign.
+// It is allocation-free on the common paths (it runs per measurement).
 func (s Scheme) Validate() error {
 	if (len(s.Key) == 0) == (s.Signer == nil) {
 		return fmt.Errorf("suite: scheme must set exactly one of Key or Signer")
 	}
 	if s.Signer == nil && s.Hash == AESCMAC {
-		_, err := cmac.New(s.Key)
-		return err
+		if n := len(s.Key); n != 16 && n != 24 && n != 32 {
+			_, err := cmac.New(s.Key)
+			return err
+		}
+		return nil
 	}
-	_, err := NewHash(s.Hash)
-	return err
+	switch s.Hash {
+	case SHA256, SHA512, BLAKE2b, BLAKE2s:
+		return nil
+	default:
+		return fmt.Errorf("suite: unknown hash %q", s.Hash)
+	}
 }
 
 // Name returns a human-readable scheme name, e.g. "HMAC-SHA-256" or
@@ -161,24 +169,15 @@ func (s Scheme) NewTagger() (Tagger, error) {
 
 // VerifyTag checks tag over the given content reader. For MAC mode it
 // recomputes the MAC with the shared key; for signature mode it hashes
-// and verifies with the signer's public key.
+// and verifies with the signer's public key. The hash state comes from
+// the pool (see pool.go); callers that can emit the expected stream
+// directly should prefer VerifyStream, which also skips the content
+// buffer.
 func (s Scheme) VerifyTag(content io.Reader, tag []byte) (bool, error) {
-	tg, err := s.NewTagger()
-	if err != nil {
-		return false, err
-	}
-	if _, err := io.Copy(tg, content); err != nil {
-		return false, err
-	}
-	if s.Signer != nil {
-		st := tg.(*signTagger)
-		return s.Signer.Verify(st.h.Sum(nil), tag) == nil, nil
-	}
-	want, err := tg.Tag()
-	if err != nil {
-		return false, err
-	}
-	return hmac.Equal(want, tag), nil
+	return s.VerifyStream(func(w io.Writer) error {
+		_, err := io.Copy(w, content)
+		return err
+	}, tag)
 }
 
 type macTagger struct{ h hash.Hash }

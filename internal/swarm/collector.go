@@ -2,6 +2,7 @@ package swarm
 
 import (
 	"bytes"
+	"io"
 
 	"saferatt/internal/core"
 	"saferatt/internal/sim"
@@ -59,6 +60,9 @@ type Collector struct {
 	refs    map[string][]byte
 	geoms   map[string][2]int // blockSize, numBlocks
 	shuffle bool
+	// order is judgeNode's traversal-order scratch, reused across
+	// reports (a Collector judges one aggregate at a time).
+	order []int
 }
 
 // NewCollector builds an empty collector for the given measurement
@@ -82,13 +86,23 @@ func (c *Collector) Register(n *Node) {
 }
 
 // Judge validates an aggregate received at time now against all
-// registered nodes.
+// registered nodes. Nodes whose reports appeared in more than one
+// merged bundle are rejected outright: with two branches claiming the
+// same name, neither copy can be attributed to the real device.
 func (c *Collector) Judge(agg *Aggregate, nonce []byte, now sim.Time) *SwarmResult {
 	res := &SwarmResult{At: now, Verdicts: map[string]NodeVerdict{}}
+	dup := map[string]bool{}
+	for _, name := range agg.Duplicates {
+		dup[name] = true
+	}
 	for name := range c.refs {
 		reports, present := agg.Reports[name]
 		if !present {
 			res.Missing = append(res.Missing, name)
+			continue
+		}
+		if dup[name] {
+			res.Verdicts[name] = NodeVerdict{Node: name, Reason: "duplicate reports in aggregate"}
 			continue
 		}
 		res.Verdicts[name] = c.judgeNode(name, reports, nonce)
@@ -111,10 +125,14 @@ func (c *Collector) judgeNode(name string, reports []*core.Report, nonce []byte)
 			v.Reason = "wrong nonce"
 			return v
 		}
-		order := core.DeriveOrder(key, rep.Nonce, rep.Round, geom[1], c.shuffle)
-		var buf bytes.Buffer
-		core.ExpectedStream(&buf, ref, geom[0], rep.Nonce, rep.Round, order)
-		ok, err := scheme.VerifyTag(&buf, rep.Tag)
+		// Stream the expected measurement straight into pooled hash
+		// state; a swarm round judges every member, so the image-sized
+		// buffer this used to build dominated collector allocations.
+		c.order = core.AppendOrderRegion(c.order[:0], key, rep.Nonce, rep.Round, 0, geom[1], c.shuffle)
+		ok, err := scheme.VerifyStream(func(w io.Writer) error {
+			core.ExpectedStream(w, ref, geom[0], rep.Nonce, rep.Round, c.order)
+			return nil
+		}, rep.Tag)
 		if err != nil {
 			v.Reason = "verification error: " + err.Error()
 			return v

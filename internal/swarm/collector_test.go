@@ -113,6 +113,57 @@ func TestCollectorRejectsWrongNonce(t *testing.T) {
 	}
 }
 
+func TestMergeDetectsDuplicateNodeNames(t *testing.T) {
+	repA := &core.Report{Round: 1}
+	repB := &core.Report{Round: 2}
+	a := &Aggregate{Reports: map[string][]*core.Report{"n0": {repA}}}
+	b := &Aggregate{Reports: map[string][]*core.Report{"n0": {repB}, "n1": {repB}}}
+	a.merge(b)
+	if len(a.Duplicates) != 1 || a.Duplicates[0] != "n0" {
+		t.Fatalf("Duplicates = %v, want [n0]", a.Duplicates)
+	}
+	if got := a.Reports["n0"][0]; got != repA {
+		t.Fatal("merge replaced the first copy instead of keeping it")
+	}
+	if _, ok := a.Reports["n1"]; !ok {
+		t.Fatal("non-clashing node lost in merge")
+	}
+	// Duplicates recorded lower in the tree propagate upward.
+	c := &Aggregate{Reports: map[string][]*core.Report{}}
+	c.merge(a)
+	if len(c.Duplicates) != 1 || c.Duplicates[0] != "n0" {
+		t.Fatalf("propagated Duplicates = %v, want [n0]", c.Duplicates)
+	}
+}
+
+func TestCollectorRejectsDuplicatedNode(t *testing.T) {
+	f, c := newJudgedFleet(t, 3, channel.Config{})
+	root, _ := BuildTree(f.nodes, 2)
+	var agg *Aggregate
+	root.OnComplete = func(a *Aggregate) { agg = a }
+	nonce := []byte("judge-dup")
+	root.Attest(nonce)
+	f.k.Run()
+
+	// A second branch claims node01's name: even though the shadowed
+	// reports are genuine, attribution is ambiguous and the node must
+	// not be accepted.
+	agg.merge(&Aggregate{Reports: map[string][]*core.Report{
+		"node01": agg.Reports["node01"],
+	}})
+	res := c.Judge(agg, nonce, f.k.Now())
+	if res.Healthy() {
+		t.Fatal("aggregate with duplicated node judged healthy")
+	}
+	v := res.Verdicts["node01"]
+	if v.OK || v.Reason != "duplicate reports in aggregate" {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if !res.Verdicts["node00"].OK || !res.Verdicts["node02"].OK {
+		t.Fatal("unrelated nodes rejected")
+	}
+}
+
 func TestCollectorEmptyAggregate(t *testing.T) {
 	_, c := newJudgedFleet(t, 2, channel.Config{})
 	res := c.Judge(&Aggregate{Reports: map[string][]*core.Report{}}, nil, 0)

@@ -31,13 +31,26 @@ type Aggregate struct {
 	Reports map[string][]*core.Report
 	// Hops is the maximum tree depth the bundle traversed.
 	Hops int
+	// Duplicates lists node names that appeared in more than one merged
+	// bundle. Two branches claiming the same node means a mis-wired tree
+	// or an impersonation attempt; merge used to let the later copy
+	// silently shadow the earlier one, hiding exactly the reports a
+	// collector would want to question. The first copy is kept and the
+	// clash recorded so the collector can reject the node explicitly.
+	Duplicates []string
 }
 
-// merge folds child aggregates into a.
+// merge folds child aggregates into a, recording report-name clashes in
+// a.Duplicates rather than overwriting.
 func (a *Aggregate) merge(b *Aggregate) {
 	for name, reps := range b.Reports {
+		if _, clash := a.Reports[name]; clash {
+			a.Duplicates = append(a.Duplicates, name)
+			continue
+		}
 		a.Reports[name] = reps
 	}
+	a.Duplicates = append(a.Duplicates, b.Duplicates...)
 	if b.Hops+1 > a.Hops {
 		a.Hops = b.Hops + 1
 	}

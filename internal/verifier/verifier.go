@@ -11,6 +11,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"saferatt/internal/channel"
 	"saferatt/internal/core"
@@ -65,6 +66,9 @@ type Verifier struct {
 	results  []Result
 	counts   Counts
 	nonceCtr uint64
+	// order is CheckTag's traversal-order scratch, reused across
+	// reports (a Verifier handles one report at a time).
+	order []int
 }
 
 type pendingChallenge struct {
@@ -229,11 +233,11 @@ func (v *Verifier) CheckTag(r *core.Report) (bool, error) {
 		}
 		start, count = r.RegionStart, r.RegionCount
 	}
-	order := core.DeriveOrderRegion(v.PermKey, r.Nonce, r.Round, start, count, v.Opts.Shuffled)
-	var buf bytes.Buffer
-	buf.Grow(count*r.BlockSize + 16 + 8*count)
-	core.ExpectedStream(&buf, ref, r.BlockSize, r.Nonce, r.Round, order)
-	return v.Scheme.VerifyTag(&buf, r.Tag)
+	v.order = core.AppendOrderRegion(v.order[:0], v.PermKey, r.Nonce, r.Round, start, count, v.Opts.Shuffled)
+	return v.Scheme.VerifyStream(func(w io.Writer) error {
+		core.ExpectedStream(w, ref, r.BlockSize, r.Nonce, r.Round, v.order)
+		return nil
+	}, r.Tag)
 }
 
 func (v *Verifier) record(res Result) {

@@ -269,6 +269,41 @@ func BenchmarkEngine_Measurement(b *testing.B) {
 	}
 }
 
+// Benchmark_MeasurementPath compares the incremental measurement engine
+// (dirty-block digest caching, the default) against the full streaming
+// path on the two heaviest Monte Carlo loops. Results are bit-identical
+// either way (see the path-equivalence tests); only host CPU differs.
+func Benchmark_MeasurementPath(b *testing.B) {
+	modes := []struct {
+		name      string
+		streaming bool
+	}{{"incremental", false}, {"streaming", true}}
+	for _, m := range modes {
+		b.Run("Table1/"+m.name, func(b *testing.B) {
+			core.SetStreamingDefault(m.streaming)
+			defer core.SetStreamingDefault(false)
+			cfg := experiments.Table1Config{Trials: 3, SMARMRounds: 5}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if rows := experiments.Table1(cfg); len(rows) < 10 {
+					b.Fatal("rows")
+				}
+			}
+		})
+		b.Run("E6/"+m.name, func(b *testing.B) {
+			core.SetStreamingDefault(m.streaming)
+			defer core.SetStreamingDefault(false)
+			cfg := experiments.E6Config{BlockCounts: []int{32}, Rounds: []int{1, 3}, Trials: 25}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if rows := experiments.E6SMARM(cfg); len(rows) != 2 {
+					b.Fatal("rows")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallelTrials compares serial (Parallelism=1) against the
 // worker-pool default (Parallelism=0 → GOMAXPROCS) on the two heaviest
 // Monte Carlo loops. Results are bit-identical either way (see the

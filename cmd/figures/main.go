@@ -10,6 +10,7 @@
 //	figures -ablation a1..a4     # ablations
 //	figures -quick               # reduced trial counts
 //	figures -parallel 4          # trial worker count (results identical)
+//	figures -incremental=false   # streaming measurement path (results identical)
 //	figures -cpuprofile cpu.out  # write a pprof CPU profile
 package main
 
@@ -21,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 
+	"saferatt/internal/core"
 	"saferatt/internal/costmodel"
 	"saferatt/internal/experiments"
 	"saferatt/internal/parallel"
@@ -38,12 +40,14 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write machine-readable CSV files into this directory")
 		par      = flag.Int("parallel", 0, "Monte Carlo worker count (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		inc      = flag.Bool("incremental", true, "use the incremental measurement engine (results are identical)")
 	)
 	flag.Parse()
 
 	if *par > 0 {
 		parallel.SetDefault(*par)
 	}
+	core.SetStreamingDefault(!*inc)
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {

@@ -43,8 +43,10 @@ func main() {
 		nodes   = flag.Int("nodes", 15, "swarm: number of nodes")
 		infect  = flag.Int("infect", -1, "swarm: node index to infect (-1 none)")
 		noIso   = flag.Bool("no-isolation", false, "tytan: disable process isolation (the OS vulnerability)")
+		inc     = flag.Bool("incremental", true, "use the incremental measurement engine (dirty-block digest caching)")
 	)
 	flag.Parse()
+	core.SetStreamingDefault(!*inc)
 
 	switch *mode {
 	case "ondemand":

@@ -10,6 +10,7 @@ import (
 	"saferatt/internal/costmodel"
 	"saferatt/internal/device"
 	"saferatt/internal/experiments"
+	"saferatt/internal/inccache"
 	"saferatt/internal/malware"
 	"saferatt/internal/mem"
 	"saferatt/internal/sim"
@@ -161,13 +162,20 @@ func runTyTAN(seed uint64, isolation bool) {
 	k.Run()
 
 	fmt.Printf("TyTAN per-process attestation, isolation=%v, colluding malware in both processes\n", isolation)
+	goldenDigests := inccache.NewImage(golden, 1024, inccache.DigestHash(suite.SHA256))
 	allClean := true
 	for name, rep := range reports {
 		scheme := suite.Scheme{Hash: suite.SHA256, Key: dev.AttestationKey}
 		order := core.DeriveOrderRegion(dev.AttestationKey, rep.Nonce, rep.Round,
 			rep.RegionStart, rep.RegionCount, false)
 		var buf bytes.Buffer
-		core.ExpectedStream(&buf, golden, 1024, rep.Nonce, rep.Round, order)
+		if rep.Incremental {
+			if err := core.ExpectedDigestStream(&buf, goldenDigests.DigestOK, rep.Nonce, rep.Round, order); err != nil {
+				fatal(err)
+			}
+		} else {
+			core.ExpectedStream(&buf, golden, 1024, rep.Nonce, rep.Round, order)
+		}
 		ok, _ := scheme.VerifyTag(&buf, rep.Tag)
 		fmt.Printf("  %s: verified=%v\n", name, ok)
 		allClean = allClean && ok

@@ -37,7 +37,7 @@ func (r *rig) expectedTag(t *testing.T, rep *Report, shuffled bool) []byte {
 	t.Helper()
 	order := DeriveOrder(r.dev.AttestationKey, rep.Nonce, rep.Round, r.m.NumBlocks(), shuffled)
 	var buf bytes.Buffer
-	ExpectedStream(&buf, r.ref, r.m.BlockSize(), rep.Nonce, rep.Round, order)
+	ExpectedStreamForReport(&buf, suite.SHA256, rep, r.ref, r.m.BlockSize(), order)
 	mac, err := suite.NewMAC(suite.SHA256, r.dev.AttestationKey)
 	if err != nil {
 		t.Fatal(err)
@@ -418,7 +418,7 @@ func TestSignatureModeMeasurement(t *testing.T) {
 	scheme := suite.Scheme{Hash: suite.SHA256, Signer: sg}
 	order := DeriveOrder(r.dev.AttestationKey, rep.Nonce, rep.Round, r.m.NumBlocks(), false)
 	var buf bytes.Buffer
-	ExpectedStream(&buf, r.ref, 256, rep.Nonce, rep.Round, order)
+	ExpectedStreamForReport(&buf, suite.SHA256, rep, r.ref, 256, order)
 	ok, err := scheme.VerifyTag(&buf, rep.Tag)
 	if err != nil || !ok {
 		t.Fatalf("signature verification failed: %v %v", ok, err)
@@ -502,7 +502,7 @@ func TestMeasurementWithAESCMAC(t *testing.T) {
 	scheme := suite.Scheme{Hash: suite.AESCMAC, Key: r.dev.AttestationKey}
 	order := DeriveOrder(r.dev.AttestationKey, rep.Nonce, rep.Round, r.m.NumBlocks(), false)
 	var buf bytes.Buffer
-	ExpectedStream(&buf, r.ref, 256, rep.Nonce, rep.Round, order)
+	ExpectedStreamForReport(&buf, suite.AESCMAC, rep, r.ref, 256, order)
 	ok, err := scheme.VerifyTag(&buf, rep.Tag)
 	if err != nil || !ok {
 		t.Fatalf("AES-CMAC measurement failed verification: %v %v", ok, err)

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"saferatt/internal/inccache"
 )
 
 // DataPolicy selects how high-entropy mutable regions D are treated
@@ -104,6 +106,40 @@ func EffectiveReference(ref []byte, blockSize int, region DataRegion, reported m
 		}
 	}
 	return eff, nil
+}
+
+// EffectiveDigests is EffectiveReference for the incremental path: it
+// returns a per-block digest lookup over a golden image cache, with D
+// blocks overridden according to the policy (the cached zero-block
+// digest, or digests of the report's attached copies). Validation of
+// reported copies happens eagerly, mirroring EffectiveReference's
+// errors, so a malformed report is rejected identically on both paths.
+func EffectiveDigests(golden *inccache.ImageCache, region DataRegion, reported map[int][]byte) (func(b int) ([]byte, error), error) {
+	if len(region.Blocks) == 0 || region.Policy == DataIncluded {
+		return golden.DigestOK, nil
+	}
+	override := make(map[int][]byte, len(region.Blocks))
+	for _, b := range region.Blocks {
+		switch region.Policy {
+		case DataZeroed:
+			override[b] = inccache.ZeroDigest(golden.Hash(), golden.BlockSize())
+		case DataReported:
+			data, ok := reported[b]
+			if !ok {
+				return nil, fmt.Errorf("core: report carries no copy of data block %d", b)
+			}
+			if len(data) != golden.BlockSize() {
+				return nil, fmt.Errorf("core: reported data block %d has %d bytes, want %d", b, len(data), golden.BlockSize())
+			}
+			override[b] = inccache.DigestOf(golden.Hash(), data, nil)
+		}
+	}
+	return func(b int) ([]byte, error) {
+		if d, ok := override[b]; ok {
+			return d, nil
+		}
+		return golden.Digest(b), nil
+	}, nil
 }
 
 // SortedDataBlocks returns the region's blocks in ascending order

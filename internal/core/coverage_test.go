@@ -34,7 +34,7 @@ func runWithData(t *testing.T, r *rig, region DataRegion) (*Report, func() bool)
 		}
 		order := DeriveOrder(r.dev.AttestationKey, rep.Nonce, rep.Round, r.m.NumBlocks(), false)
 		var buf bytes.Buffer
-		ExpectedStream(&buf, ref, r.m.BlockSize(), rep.Nonce, rep.Round, order)
+		ExpectedStreamForReport(&buf, suite.SHA256, rep, ref, r.m.BlockSize(), order)
 		scheme := suite.Scheme{Hash: suite.SHA256, Key: r.dev.AttestationKey}
 		ok, err := scheme.VerifyTag(&buf, rep.Tag)
 		return err == nil && ok

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand/v2"
 
+	"saferatt/internal/inccache"
 	"saferatt/internal/suite"
 )
 
@@ -95,6 +96,25 @@ func AppendOrderRegion(dst []int, permKey, nonce []byte, round, start, count int
 // sha256Size is the HMAC-SHA-256 output length used for order seeds.
 const sha256Size = 32
 
+// ExpectedStreamForReport writes the expected measurement stream for a
+// report, mirroring its data path: raw reference bytes for streaming
+// reports, uncached per-block digests for incremental ones. hash is the
+// scheme's measurement hash. This is the convenience form for tests and
+// one-shot verifiers; the production verifiers use cached golden
+// digests (inccache.ImageCache) instead.
+func ExpectedStreamForReport(w io.Writer, hash suite.HashID, rep *Report, ref []byte, blockSize int, order []int) {
+	if !rep.Incremental {
+		ExpectedStream(w, ref, blockSize, rep.Nonce, rep.Round, order)
+		return
+	}
+	dh := inccache.DigestHash(hash)
+	var scratch []byte
+	ExpectedDigestStream(w, func(b int) ([]byte, error) {
+		scratch = inccache.DigestOf(dh, ref[b*blockSize:(b+1)*blockSize], scratch[:0])
+		return scratch, nil
+	}, rep.Nonce, rep.Round, order)
+}
+
 // ExpectedStream writes the canonical measurement byte stream for a
 // reference memory image to w: the verifier-side mirror of what the
 // engine feeds its tagger. ref must be the full memory image; order
@@ -105,4 +125,24 @@ func ExpectedStream(w io.Writer, ref []byte, blockSize int, nonce []byte, round 
 		writeBlockHeader(w, pos, b)
 		w.Write(ref[b*blockSize : (b+1)*blockSize])
 	}
+}
+
+// ExpectedDigestStream writes the canonical *incremental* measurement
+// stream to w: the same headers as ExpectedStream, but each block's
+// content replaced by its unkeyed digest (see internal/inccache). The
+// digest callback supplies the expected digest of block b — cached
+// golden digests, a zero-block digest, or a digest of report-attached
+// data, per the §2.3 policy; a non-nil error aborts the stream and is
+// returned (mirroring the streaming path's missing-data errors).
+func ExpectedDigestStream(w io.Writer, digest func(b int) ([]byte, error), nonce []byte, round int, order []int) error {
+	writeMeasurementHeader(w, nonce, round)
+	for pos, b := range order {
+		d, err := digest(b)
+		if err != nil {
+			return err
+		}
+		writeBlockHeader(w, pos, b)
+		w.Write(d)
+	}
+	return nil
 }

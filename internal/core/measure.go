@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"saferatt/internal/device"
+	"saferatt/internal/inccache"
 	"saferatt/internal/mem"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
@@ -33,6 +34,7 @@ type Measurement struct {
 
 	tagger   suite.Tagger
 	scm      suite.Scheme
+	cache    *inccache.MemCache // non-nil on the incremental path
 	order    []int
 	pos      int
 	cov      *mem.Coverage
@@ -43,6 +45,11 @@ type Measurement struct {
 	started  bool
 	done     func(*Report, error)
 	report   *Report
+	// stepFn/finishFn are the per-block and finalization callbacks,
+	// bound once per measurement instead of allocating a closure per
+	// submitted block step.
+	stepFn   func()
+	finishFn func()
 }
 
 // NewMeasurement prepares a measurement round on dev, running as task.
@@ -95,6 +102,15 @@ func (m *Measurement) Start(done func(*Report, error)) {
 		m.finishErr(err)
 		return
 	}
+	if m.opts.Incremental() {
+		// The device-level cache persists across rounds and sessions,
+		// so unwritten blocks are hashed once per trial, not once per
+		// traversal. Simulated durations below are unaffected: the
+		// model still charges full block-hashing time.
+		m.cache = m.dev.DigestCache(inccache.DigestHash(m.opts.Hash))
+	}
+	m.stepFn = m.step
+	m.finishFn = m.finish
 
 	prof := m.dev.Profile
 	setup := prof.HashFixed[m.opts.Hash]
@@ -144,7 +160,9 @@ func (m *Measurement) begin() {
 	}
 	if m.opts.Lock == LockAllPolicy || m.opts.Lock == LockDec {
 		memory.LockAll()
-		m.dev.Trace.Addf(m.now(), trace.KindBlockLocked, m.task.Name(), "all %d blocks", memory.NumBlocks())
+		if m.dev.Trace != nil {
+			m.dev.Trace.Addf(m.now(), trace.KindBlockLocked, m.task.Name(), "all %d blocks", memory.NumBlocks())
+		}
 	}
 
 	m.ts = m.now()
@@ -180,7 +198,9 @@ func (m *Measurement) progress() Progress {
 }
 
 // submitNext queues the step that covers the next block, or the finish
-// step when traversal is complete.
+// step when traversal is complete. The charged durations are identical
+// for the streaming and incremental paths: the simulated device always
+// hashes the full block, only the host-side work is cached.
 func (m *Measurement) submitNext() {
 	prof := m.dev.Profile
 	if m.pos >= len(m.order) {
@@ -188,23 +208,30 @@ func (m *Measurement) submitNext() {
 		if m.opts.Signer != "" {
 			finish += prof.SignTime(m.opts.Signer)
 		}
-		m.task.Submit(finish, m.finish)
+		m.task.Submit(finish, m.finishFn)
 		return
 	}
-	b := m.order[m.pos]
 	dur := prof.StreamTime(m.opts.Hash, m.dev.Mem.BlockSize())
 	if m.opts.Lock == LockDec || m.opts.Lock == LockInc {
 		dur += prof.LockOp
 	}
-	m.task.Submit(dur, func() { m.coverBlock(b) })
+	m.task.Submit(dur, m.stepFn)
 }
 
+// step covers the block at the current traversal position.
+func (m *Measurement) step() { m.coverBlock(m.order[m.pos]) }
+
 // coverBlock runs at the coverage instant of block b: hash its current
-// content, apply sliding-lock transitions, notify observers, continue.
+// content (or fold its cached digest into the tag on the incremental
+// path), apply sliding-lock transitions, notify observers, continue.
 func (m *Measurement) coverBlock(b int) {
 	memory := m.dev.Mem
 	writeBlockHeader(m.tagger, m.pos, b)
-	m.tagger.Write(memory.Block(b))
+	if m.cache != nil {
+		m.tagger.Write(m.cache.Digest(b))
+	} else {
+		m.tagger.Write(memory.Block(b))
+	}
 	m.cov.CoveredAt[b] = m.now()
 	if m.opts.Data.Policy == DataReported && m.dataSet[b] {
 		if m.dataCopy == nil {
@@ -214,15 +241,22 @@ func (m *Measurement) coverBlock(b int) {
 	}
 	m.pos++
 
+	tr := m.dev.Trace
 	switch m.opts.Lock {
 	case LockDec:
 		memory.Unlock(b)
-		m.dev.Trace.Addf(m.now(), trace.KindBlockUnlocked, m.task.Name(), "block %d", b)
+		if tr != nil {
+			tr.Addf(m.now(), trace.KindBlockUnlocked, m.task.Name(), "block %d", b)
+		}
 	case LockInc:
 		memory.Lock(b)
-		m.dev.Trace.Addf(m.now(), trace.KindBlockLocked, m.task.Name(), "block %d", b)
+		if tr != nil {
+			tr.Addf(m.now(), trace.KindBlockLocked, m.task.Name(), "block %d", b)
+		}
 	}
-	m.dev.Trace.Addf(m.now(), trace.KindBlockMeasured, m.task.Name(), "pos %d block %d", m.pos-1, b)
+	if tr != nil {
+		tr.Addf(m.now(), trace.KindBlockMeasured, m.task.Name(), "pos %d block %d", m.pos-1, b)
+	}
 
 	if m.Hooks.OnBlock != nil {
 		m.Hooks.OnBlock(m.progress())
@@ -262,6 +296,7 @@ func (m *Measurement) finish() {
 		Data:        m.dataCopy,
 		RegionStart: m.opts.Region.Start,
 		RegionCount: m.opts.Region.Count,
+		Incremental: m.cache != nil,
 		Coverage:    m.cov,
 		Order:       m.order,
 		BlockSize:   m.dev.Mem.BlockSize(),

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"saferatt/internal/device"
 	"saferatt/internal/suite"
@@ -81,6 +82,51 @@ func (p LockPolicy) String() string {
 	}
 }
 
+// PathMode selects the measurement data path: the streaming path feeds
+// every attested byte through the keyed tag, the incremental path folds
+// cached per-block digests into it (see internal/inccache). Both
+// produce identical simulated durations and detection outcomes; the
+// incremental path is a host-CPU optimization.
+type PathMode int
+
+// Path modes.
+const (
+	// PathDefault follows the package default (incremental unless
+	// SetStreamingDefault(true) was called).
+	PathDefault PathMode = iota
+	// PathIncremental forces dirty-block digest caching.
+	PathIncremental
+	// PathStreaming forces the full byte-streaming path.
+	PathStreaming
+)
+
+func (p PathMode) String() string {
+	switch p {
+	case PathDefault:
+		return "default"
+	case PathIncremental:
+		return "incremental"
+	case PathStreaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("PathMode(%d)", int(p))
+	}
+}
+
+// streamingDefault flips the package default from incremental to
+// streaming. Atomic because parallel trial workers read it while a CLI
+// or test flips it between runs.
+var streamingDefault atomic.Bool
+
+// SetStreamingDefault selects the package-wide default measurement
+// path: on = streaming, off (the default) = incremental. Equivalence
+// tests and the CLIs' -incremental=false toggle use it; experiment code
+// should prefer Options.Path for a per-measurement choice.
+func SetStreamingDefault(on bool) { streamingDefault.Store(on) }
+
+// StreamingDefault reports the current package default.
+func StreamingDefault() bool { return streamingDefault.Load() }
+
 // Options configure one measurement.
 type Options struct {
 	// Mechanism labels reports; presets fill the remaining fields.
@@ -113,6 +159,21 @@ type Options struct {
 	// are plain interruptible traversals: lock policies and extended
 	// release do not apply.
 	Region device.Region
+	// Path selects the measurement data path (streaming vs incremental
+	// digest caching). The zero value follows the package default.
+	Path PathMode
+}
+
+// Incremental resolves the effective data path for these options.
+func (o Options) Incremental() bool {
+	switch o.Path {
+	case PathIncremental:
+		return true
+	case PathStreaming:
+		return false
+	default:
+		return !streamingDefault.Load()
+	}
 }
 
 // Validate reports whether the options are coherent.

@@ -179,7 +179,7 @@ func TestPropertyCleanDeviceAlwaysVerifies(t *testing.T) {
 		scheme := suite.Scheme{Hash: opts.Hash, Key: dev.AttestationKey}
 		order := DeriveOrder(dev.AttestationKey, rep.Nonce, rep.Round, blocks, opts.Shuffled)
 		var buf bytes.Buffer
-		ExpectedStream(&buf, ref, blockSize, rep.Nonce, rep.Round, order)
+		ExpectedStreamForReport(&buf, opts.Hash, rep, ref, blockSize, order)
 		ok, err := scheme.VerifyTag(&buf, rep.Tag)
 		return err == nil && ok
 	}

@@ -25,6 +25,10 @@ type Report struct {
 	// RegionStart/RegionCount identify a per-process measurement's
 	// block range; RegionCount == 0 means the whole memory.
 	RegionStart, RegionCount int
+	// Incremental records which data path produced Tag: false = keyed
+	// tag over raw block bytes, true = keyed tag over per-block
+	// digests. Verifiers must mirror the path to recompute the tag.
+	Incremental bool
 
 	// Simulation metadata (not authenticated, never used by the
 	// verifier's accept/reject decision).

@@ -15,8 +15,10 @@ import (
 	"fmt"
 
 	"saferatt/internal/costmodel"
+	"saferatt/internal/inccache"
 	"saferatt/internal/mem"
 	"saferatt/internal/sim"
+	"saferatt/internal/suite"
 	"saferatt/internal/trace"
 )
 
@@ -43,6 +45,22 @@ type Device struct {
 	atomicOwner *Task
 	ctxSwitches int
 	busyTime    sim.Duration
+
+	// The scheduler has at most one step completion and one dispatch
+	// kick outstanding at a time, so both reuse a single kernel timer
+	// instead of allocating an event + closure per step (the
+	// measurement engine submits one step per memory block, making
+	// this the simulation's hottest scheduling path).
+	stepTimer *sim.Timer
+	kickTimer *sim.Timer
+	runTask   *Task
+	runStep   step
+	runDur    sim.Duration
+
+	// digests caches per-block content digests for the incremental
+	// measurement engine, one cache per digest hash, shared by every
+	// measurement on this device (see internal/inccache).
+	digests map[suite.HashID]*inccache.MemCache
 }
 
 // Config assembles a Device.
@@ -63,13 +81,31 @@ func New(cfg Config) *Device {
 	if key == nil {
 		key = []byte("saferatt-default-attestation-key")
 	}
-	return &Device{
+	d := &Device{
 		Kernel:         cfg.Kernel,
 		Mem:            cfg.Mem,
 		Profile:        cfg.Profile,
 		Trace:          cfg.Trace,
 		AttestationKey: key,
 	}
+	d.stepTimer = cfg.Kernel.NewTimer(d.stepDone)
+	d.kickTimer = cfg.Kernel.NewTimer(d.kicked)
+	return d
+}
+
+// DigestCache returns the device's per-block digest cache for the given
+// digest hash, building it on first use. Pass the measurement hash
+// through inccache.DigestHash first.
+func (d *Device) DigestCache(hash suite.HashID) *inccache.MemCache {
+	if c, ok := d.digests[hash]; ok {
+		return c
+	}
+	if d.digests == nil {
+		d.digests = map[suite.HashID]*inccache.MemCache{}
+	}
+	c := inccache.NewMem(d.Mem, hash)
+	d.digests[hash] = c
+	return c
 }
 
 // Stats aggregates per-task scheduling statistics.
@@ -196,10 +232,12 @@ func (d *Device) kick() {
 		return
 	}
 	d.kickPending = true
-	d.Kernel.Schedule(0, func() {
-		d.kickPending = false
-		d.dispatch()
-	})
+	d.kickTimer.Arm(0)
+}
+
+func (d *Device) kicked() {
+	d.kickPending = false
+	d.dispatch()
 }
 
 // pick selects the next task to run under the current policy.
@@ -253,24 +291,31 @@ func (d *Device) dispatch() {
 
 	d.busy = true
 	d.current = t
-	d.Kernel.Schedule(dur, func() {
-		d.busy = false
-		d.current = nil
-		d.lastRan = t
-		d.busyTime += dur
-		t.stats.Busy += dur
-		t.stats.Steps++
-		resp := d.Kernel.Now().Sub(st.submitted)
-		if resp > t.stats.MaxResponse {
-			t.stats.MaxResponse = resp
-		}
-		if st.fn != nil {
-			d.executing = t
-			st.fn()
-			d.executing = nil
-		}
-		d.dispatch()
-	})
+	d.runTask, d.runStep, d.runDur = t, st, dur
+	d.stepTimer.Arm(dur)
+}
+
+// stepDone runs when the in-flight step's CPU time elapses: account it,
+// run the completion callback, dispatch the next step.
+func (d *Device) stepDone() {
+	t, st, dur := d.runTask, d.runStep, d.runDur
+	d.runTask, d.runStep = nil, step{}
+	d.busy = false
+	d.current = nil
+	d.lastRan = t
+	d.busyTime += dur
+	t.stats.Busy += dur
+	t.stats.Steps++
+	resp := d.Kernel.Now().Sub(st.submitted)
+	if resp > t.stats.MaxResponse {
+		t.stats.MaxResponse = resp
+	}
+	if st.fn != nil {
+		d.executing = t
+		st.fn()
+		d.executing = nil
+	}
+	d.dispatch()
 }
 
 // Running returns the task currently holding the CPU — either mid-step

@@ -50,7 +50,7 @@ func AblationSMARMBlocks(blockCounts []int, trials int, seed uint64) []A1Row {
 		escapes := parallel.Sum(0, trials, func(i int) int {
 			s := seed + uint64(i+n*13)
 			w := NewWorld(WorldConfig{Seed: s, MemSize: memSize, BlockSize: blockSize,
-				ROMBlocks: 1, Opts: opts})
+				ROMBlocks: 1, Opts: opts, NoTrace: true})
 			mw := malware.NewSelfRelocating(w.Dev, malwarePrio, s^0x515)
 			mustInfect(w, mw.Infect, int(s)%(n-1)+1)
 			reports := w.RunSessionToEnd(opts, []byte{byte(i), byte(n)}, mpPrio, mw.Hooks())

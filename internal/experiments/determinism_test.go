@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"saferatt/internal/core"
 	"saferatt/internal/parallel"
 	"saferatt/internal/sim"
 )
@@ -88,6 +89,79 @@ func TestTable1Deterministic(t *testing.T) {
 	if !reflect.DeepEqual(serial, par) {
 		t.Fatalf("Table1 parallel != serial\nserial: %+v\npar:    %+v", serial, par)
 	}
+}
+
+// bothPaths runs an experiment once on the incremental measurement path
+// and once on the streaming path and requires bit-identical results.
+// This pins the incremental engine's core contract: dirty-block digest
+// caching is a host-CPU optimization — detection outcomes, virtual-time
+// traces and Monte Carlo statistics are path-invariant.
+func bothPaths[T any](t *testing.T, name string, run func() T) {
+	t.Helper()
+	defer core.SetStreamingDefault(false)
+	core.SetStreamingDefault(false)
+	inc := run()
+	core.SetStreamingDefault(true)
+	st := run()
+	if !reflect.DeepEqual(inc, st) {
+		t.Fatalf("%s: incremental != streaming\nincremental: %+v\nstreaming:   %+v", name, inc, st)
+	}
+}
+
+func TestTable1PathEquivalence(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		bothPaths(t, "Table1", func() []Table1Row {
+			return Table1(Table1Config{Trials: 4, Seed: 11, Parallelism: workers})
+		})
+	}
+}
+
+func TestE6PathEquivalence(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		bothPaths(t, "E6", func() []E6Row {
+			return E6SMARM(E6Config{BlockCounts: []int{16}, Rounds: []int{1, 3},
+				Trials: 12, Seed: 77, Parallelism: workers})
+		})
+	}
+}
+
+func TestE7PathEquivalence(t *testing.T) {
+	bothPaths(t, "E7", func() []E7Row {
+		return E7QoA(E7Config{Dwells: []sim.Duration{2 * sim.Second}, Trials: 8, Seed: 21, Parallelism: 4})
+	})
+}
+
+func TestE8PathEquivalence(t *testing.T) {
+	bothPaths(t, "E8", func() E8Result {
+		return E8SeED(E8Config{LossRates: []float64{0, 0.1}, Horizon: 40 * sim.Second,
+			ScheduleTrials: 4, Seed: 5, Parallelism: 4})
+	})
+}
+
+func TestE5PathEquivalence(t *testing.T) {
+	bothPaths(t, "E5", func() []E5Row {
+		return E5FireAlarm(E5Config{SimSizes: []int{1 << 20}, Parallelism: 4})
+	})
+}
+
+func TestE9PathEquivalence(t *testing.T) {
+	bothPaths(t, "E9", func() []E9Row {
+		return E9SoftwareRA(E9Config{Overheads: []int{40}, Jitters: []sim.Duration{sim.Millisecond},
+			Iterations: 100_000, Trials: 4, Seed: 9, Parallelism: 4})
+	})
+}
+
+func TestE10PathEquivalence(t *testing.T) {
+	bothPaths(t, "E10", func() []E10Row {
+		return E10DoS(E10Config{FloodPeriods: []sim.Duration{500 * sim.Millisecond},
+			Horizon: 20 * sim.Second, MemSize: 1 << 20, Seed: 3, Parallelism: 4})
+	})
+}
+
+func TestAblationPathEquivalence(t *testing.T) {
+	bothPaths(t, "A1", func() []A1Row {
+		return AblationSMARMBlocks([]int{8, 16}, 10, 2)
+	})
 }
 
 // TestAblationsDeterministic covers the positional-argument ablation

@@ -148,7 +148,7 @@ func e8Schedule(cfg E8Config) (secretEscapes, leakedEscapes int) {
 	run := func(trial int, leaked bool) bool /*escaped*/ {
 		opts := core.Preset(core.SMART, suite.SHA256)
 		w := NewWorld(WorldConfig{Seed: cfg.Seed + uint64(trial)*31 + boolU64(leaked),
-			MemSize: 4096, BlockSize: 256, ROMBlocks: 1, Opts: opts})
+			MemSize: 4096, BlockSize: 256, ROMBlocks: 1, Opts: opts, NoTrace: true})
 		seed := []byte{byte(trial), 0x88}
 		p, err := core.NewSeED("prv", w.Dev, w.Link, opts, seed, cfg.Period, cfg.Period/2, mpPrio)
 		if err != nil {

@@ -26,6 +26,7 @@ import (
 	"saferatt/internal/core"
 	"saferatt/internal/costmodel"
 	"saferatt/internal/device"
+	"saferatt/internal/inccache"
 	"saferatt/internal/mem"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
@@ -42,7 +43,13 @@ type World struct {
 	Link *channel.Link
 	Ver  *verifier.Verifier
 	Ref  []byte
-	Log  *trace.Log
+	Log  *trace.Log // nil when built with NoTrace
+
+	// golden lazily caches per-block digests of Ref for incremental
+	// VerifyLocally calls; goldenDigest is its bound lookup, cached so
+	// the hot loop does not re-create the method value per report.
+	golden       *inccache.ImageCache
+	goldenDigest func(b int) ([]byte, error)
 }
 
 // WorldConfig parameterizes NewWorld.
@@ -57,6 +64,14 @@ type WorldConfig struct {
 	Loss      float64
 	Adv       channel.Adversary
 	Profile   *costmodel.Profile // default ODROIDXU4
+	// LogWrites records every memory write in the write log. Timeline
+	// experiments (Fig. 1/4, consistency windows) need it; Monte Carlo
+	// sweeps run thousands of trials and leave it off.
+	LogWrites bool
+	// NoTrace drops the event log entirely (a nil trace.Log discards
+	// events). Monte Carlo hot loops use it: formatting trace details
+	// otherwise dominates the allocation profile.
+	NoTrace bool
 }
 
 // NewWorld builds a World. It panics on wiring errors: experiment
@@ -74,10 +89,13 @@ func NewWorld(cfg WorldConfig) *World {
 	k := sim.NewKernel()
 	m := mem.New(mem.Config{
 		Size: cfg.MemSize, BlockSize: cfg.BlockSize, ROMBlocks: cfg.ROMBlocks,
-		Clock: k.Now, LogWrites: true,
+		Clock: k.Now, LogWrites: cfg.LogWrites,
 	})
 	m.FillRandom(rand.New(rand.NewPCG(cfg.Seed, 0xfade)))
-	log := &trace.Log{}
+	var log *trace.Log
+	if !cfg.NoTrace {
+		log = &trace.Log{}
+	}
 	dev := device.New(device.Config{Kernel: k, Mem: m, Profile: cfg.Profile, Trace: log})
 	link := channel.New(channel.Config{
 		Kernel: k, Latency: cfg.Latency, Jitter: cfg.Jitter, Loss: cfg.Loss,
@@ -117,10 +135,22 @@ func (w *World) VerifyLocally(rep *core.Report, shuffled bool) bool {
 	op := verifyOrders.Get().(*[]int)
 	order := core.AppendOrderRegion((*op)[:0], w.Dev.AttestationKey, rep.Nonce, rep.Round,
 		0, w.Mem.NumBlocks(), shuffled)
-	ok, err := scheme.VerifyStream(func(wr io.Writer) error {
-		core.ExpectedStream(wr, w.Ref, w.Mem.BlockSize(), rep.Nonce, rep.Round, order)
-		return nil
-	}, rep.Tag)
+	var ok bool
+	var err error
+	if rep.Incremental {
+		if w.golden == nil {
+			w.golden = inccache.NewImage(w.Ref, w.Mem.BlockSize(), inccache.DigestHash(suite.SHA256))
+			w.goldenDigest = w.golden.DigestOK
+		}
+		ok, err = scheme.VerifyStream(func(wr io.Writer) error {
+			return core.ExpectedDigestStream(wr, w.goldenDigest, rep.Nonce, rep.Round, order)
+		}, rep.Tag)
+	} else {
+		ok, err = scheme.VerifyStream(func(wr io.Writer) error {
+			core.ExpectedStream(wr, w.Ref, w.Mem.BlockSize(), rep.Nonce, rep.Round, order)
+			return nil
+		}, rep.Tag)
+	}
 	*op = order
 	verifyOrders.Put(op)
 	if err != nil {

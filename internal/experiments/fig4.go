@@ -46,8 +46,9 @@ func fig4One(id core.MechanismID) Fig4Row {
 		blockSize = 4096
 	)
 	opts := core.Preset(id, suite.SHA256)
+	// Consistency judgment replays the write log.
 	w := NewWorld(WorldConfig{Seed: 77, MemSize: blocks * blockSize, BlockSize: blockSize,
-		ROMBlocks: 1, Opts: opts})
+		ROMBlocks: 1, Opts: opts, LogWrites: true})
 	blockTime := w.Dev.Profile.StreamTime(opts.Hash, blockSize)
 	span := sim.Duration(blocks) * blockTime
 

@@ -164,7 +164,7 @@ func escapeRate(cfg Table1Config, opts core.Options, mpPriority int, plant func(
 	escapes := parallel.Sum(cfg.Parallelism, cfg.Trials, func(i int) int {
 		seed := cfg.Seed + uint64(i)*7919
 		w := NewWorld(WorldConfig{Seed: seed, MemSize: cfg.Blocks * cfg.BlockSize,
-			BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+			BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
 		hooks := plant(w, seed)
 		nonce := []byte{byte(i), byte(i >> 8), 0x42}
 		reports := w.RunSessionToEnd(opts, nonce, mpPriority, hooks)
@@ -184,7 +184,7 @@ func escapeRate(cfg Table1Config, opts core.Options, mpPriority int, plant func(
 // lock-denied) within one block time of submission.
 func availability(cfg Table1Config, opts core.Options, mpPriority int) float64 {
 	w := NewWorld(WorldConfig{Seed: cfg.Seed + 1, MemSize: cfg.Blocks * cfg.BlockSize,
-		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
 	blockTime := w.Dev.Profile.StreamTime(opts.Hash, cfg.BlockSize)
 	eps := 2*blockTime + 10*w.Dev.Profile.CtxSwitch
 
@@ -245,8 +245,10 @@ func availability(cfg Table1Config, opts core.Options, mpPriority int) float64 {
 // writer mutates memory, then judges the report against memory-at-t_s
 // and memory-at-t_e using the write log (Fig. 4 semantics).
 func consistency(cfg Table1Config, opts core.Options, mpPriority int) (atTS, atTE bool) {
+	// Consistency judgment replays the write log, so this world records
+	// writes (the only Table 1 world that does).
 	w := NewWorld(WorldConfig{Seed: cfg.Seed + 2, MemSize: cfg.Blocks * cfg.BlockSize,
-		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, LogWrites: true, NoTrace: true})
 	blockTime := w.Dev.Profile.StreamTime(opts.Hash, cfg.BlockSize)
 
 	writer := w.Dev.NewTask("writer", appPrio)
@@ -291,7 +293,7 @@ func consistency(cfg Table1Config, opts core.Options, mpPriority int) (atTS, atT
 // step submitted one third of the way into a measurement.
 func preemptLatency(cfg Table1Config, opts core.Options, mpPriority int) sim.Duration {
 	w := NewWorld(WorldConfig{Seed: cfg.Seed + 3, MemSize: cfg.Blocks * cfg.BlockSize,
-		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
 	app := w.Dev.NewTask("app", appPrio)
 
 	task := w.Dev.NewTask("mp", mpPriority)
@@ -318,7 +320,7 @@ func preemptLatency(cfg Table1Config, opts core.Options, mpPriority int) sim.Dur
 // SMARM's k successive measurements show up as k× run-time overhead.
 func measureDuration(cfg Table1Config, opts core.Options) sim.Duration {
 	w := NewWorld(WorldConfig{Seed: cfg.Seed + 4, MemSize: cfg.Blocks * cfg.BlockSize,
-		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
+		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
 	reports := w.RunSessionToEnd(opts, []byte("dur"), mpPrio, core.Hooks{})
 	return reports[len(reports)-1].TE.Sub(reports[0].TS)
 }

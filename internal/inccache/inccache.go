@@ -1,0 +1,241 @@
+// Package inccache implements dirty-block digest caching for the
+// incremental measurement engine.
+//
+// The paper's mechanisms are block-granular: lock policies (§3.1) and
+// SMARM's shuffled traversal (§3.2) both cover memory one block at a
+// time, and repeated self-measurement (ERASMUS, SeED) re-measures an
+// image in which only a handful of blocks changed since the previous
+// round. The incremental engine therefore measures in two levels: an
+// unkeyed per-block content digest, cached here and recomputed only
+// when the block's generation counter says it was written, folded into
+// the keyed outer tag that binds nonce, round and traversal order.
+//
+// This is a host-CPU optimization only. Simulated durations are still
+// charged for full block hashing, so virtual-time results are identical
+// to the streaming path; detection outcomes match because the outer tag
+// over golden digests equals the outer tag over measured digests
+// exactly when every covered block's content matches the reference.
+//
+// Correctness depends on invalidation: every mutation path of
+// mem.Memory (Write, WriteBlock, Poke, Restore, FillRandom) bumps the
+// per-block generation this cache keys on. A mutation path that forgot
+// to would let a stale digest mask malware — see the regression tests.
+//
+// Caches are safe for concurrent use: the parallel trial engine may
+// share a verifier-side golden cache across workers.
+package inccache
+
+import (
+	"fmt"
+	"sync"
+
+	"saferatt/internal/mem"
+	"saferatt/internal/suite"
+)
+
+// DigestHash maps a measurement scheme's hash to the unkeyed hash used
+// for per-block digests: the scheme's own hash when it has an unkeyed
+// mode, SHA-256 for keyed-only primitives (AES-CMAC).
+func DigestHash(id suite.HashID) suite.HashID {
+	if id == suite.AESCMAC {
+		return suite.SHA256
+	}
+	return id
+}
+
+// DigestSize returns the digest length in bytes for a (digest-capable)
+// hash.
+func DigestSize(id suite.HashID) int {
+	h, err := suite.NewHash(id)
+	if err != nil {
+		panic("inccache: " + err.Error())
+	}
+	return h.Size()
+}
+
+// Stats counts cache effectiveness.
+type Stats struct {
+	Hits   uint64 // digests served from cache
+	Misses uint64 // digests (re)computed
+}
+
+// MemCache caches per-block digests of a live mem.Memory, keyed on the
+// block's generation counter. One cache serves all measurements on a
+// device for a given digest hash: per-block digests survive across
+// rounds, sessions and mechanisms as long as the block is not written.
+type MemCache struct {
+	mu    sync.Mutex
+	mem   *mem.Memory
+	hash  suite.HashID
+	size  int
+	stamp []uint64 // generation+1 at fill time; 0 = never filled
+	dig   []byte   // nblocks × size, flat
+	stats Stats
+}
+
+// NewMem builds an empty cache over m using the given digest hash (pass
+// the scheme hash through DigestHash first).
+func NewMem(m *mem.Memory, hash suite.HashID) *MemCache {
+	size := DigestSize(hash)
+	n := m.NumBlocks()
+	return &MemCache{
+		mem:   m,
+		hash:  hash,
+		size:  size,
+		stamp: make([]uint64, n),
+		dig:   make([]byte, n*size),
+	}
+}
+
+// Hash returns the digest hash the cache computes.
+func (c *MemCache) Hash() suite.HashID { return c.hash }
+
+// Digest returns the digest of block b's current content, serving from
+// cache when the block's generation is unchanged since the digest was
+// computed. The returned slice aliases cache-internal storage: it is
+// valid until the next Digest call for b and must not be mutated.
+func (c *MemCache) Digest(b int) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	want := c.mem.Generation(b) + 1
+	d := c.dig[b*c.size : (b+1)*c.size : (b+1)*c.size]
+	if c.stamp[b] == want {
+		c.stats.Hits++
+		return d
+	}
+	sumInto(c.hash, c.mem.Block(b), d)
+	c.stamp[b] = want
+	c.stats.Misses++
+	return d
+}
+
+// Invalidate drops every cached digest. Generation keying makes this
+// unnecessary for correctness; it exists for tests and for callers that
+// want to release no memory but force recomputation.
+func (c *MemCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.stamp)
+}
+
+// Stats returns a snapshot of hit/miss counters.
+func (c *MemCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ImageCache caches per-block digests of an immutable reference image —
+// the verifier's golden side. Blocks are digested lazily, once.
+type ImageCache struct {
+	mu        sync.Mutex
+	ref       []byte
+	blockSize int
+	hash      suite.HashID
+	size      int
+	done      []bool
+	dig       []byte
+	stats     Stats
+}
+
+// NewImage builds a cache over a golden image. The caller must not
+// mutate ref afterwards. Panics if ref is not block-aligned (golden
+// geometry is experiment code, not input).
+func NewImage(ref []byte, blockSize int, hash suite.HashID) *ImageCache {
+	if blockSize <= 0 || len(ref)%blockSize != 0 {
+		panic(fmt.Sprintf("inccache: image of %d bytes is not a multiple of block size %d", len(ref), blockSize))
+	}
+	size := DigestSize(hash)
+	n := len(ref) / blockSize
+	return &ImageCache{
+		ref:       ref,
+		blockSize: blockSize,
+		hash:      hash,
+		size:      size,
+		done:      make([]bool, n),
+		dig:       make([]byte, n*size),
+	}
+}
+
+// NumBlocks returns the number of blocks in the image.
+func (c *ImageCache) NumBlocks() int { return len(c.done) }
+
+// BlockSize returns the image's block granularity.
+func (c *ImageCache) BlockSize() int { return c.blockSize }
+
+// Hash returns the digest hash the cache computes.
+func (c *ImageCache) Hash() suite.HashID { return c.hash }
+
+// Digest returns the digest of golden block b, computing it on first
+// use. The returned slice aliases cache-internal storage and must not
+// be mutated.
+func (c *ImageCache) Digest(b int) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dig[b*c.size : (b+1)*c.size : (b+1)*c.size]
+	if c.done[b] {
+		c.stats.Hits++
+		return d
+	}
+	sumInto(c.hash, c.ref[b*c.blockSize:(b+1)*c.blockSize], d)
+	c.done[b] = true
+	c.stats.Misses++
+	return d
+}
+
+// DigestOK is Digest with the (func(int) ([]byte, error)) signature the
+// expected-stream helpers take; the error is always nil.
+func (c *ImageCache) DigestOK(b int) ([]byte, error) { return c.Digest(b), nil }
+
+// Stats returns a snapshot of hit/miss counters.
+func (c *ImageCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// DigestOf appends the digest of an arbitrary block content to dst and
+// returns the extended slice — used for per-report override blocks
+// (DataReported copies) that are not worth caching.
+func DigestOf(hash suite.HashID, content, dst []byte) []byte {
+	h, err := suite.AcquireHash(hash)
+	if err != nil {
+		panic("inccache: " + err.Error())
+	}
+	h.Write(content)
+	dst = h.Sum(dst)
+	suite.ReleaseHash(hash, h)
+	return dst
+}
+
+type zeroKey struct {
+	hash      suite.HashID
+	blockSize int
+}
+
+var zeroDigests sync.Map // zeroKey -> []byte
+
+// ZeroDigest returns the digest of an all-zero block of the given size,
+// cached process-wide: zeroed data regions (§2.3) recur across every
+// trial of a sweep.
+func ZeroDigest(hash suite.HashID, blockSize int) []byte {
+	k := zeroKey{hash: hash, blockSize: blockSize}
+	if d, ok := zeroDigests.Load(k); ok {
+		return d.([]byte)
+	}
+	d := DigestOf(hash, make([]byte, blockSize), nil)
+	actual, _ := zeroDigests.LoadOrStore(k, d)
+	return actual.([]byte)
+}
+
+// sumInto computes hash(content) into dst (which must be exactly the
+// digest size), using pooled hash state.
+func sumInto(hash suite.HashID, content, dst []byte) {
+	h, err := suite.AcquireHash(hash)
+	if err != nil {
+		panic("inccache: " + err.Error())
+	}
+	h.Write(content)
+	h.Sum(dst[:0])
+	suite.ReleaseHash(hash, h)
+}

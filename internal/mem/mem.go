@@ -14,6 +14,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
 
@@ -64,9 +65,13 @@ type Memory struct {
 	nblocks   int
 	locked    []bool
 	lastWrite []sim.Time
-	romBlocks int // blocks [0, romBlocks) are ROM
+	gen       []uint64 // per-block content generation (see Generation)
+	romBlocks int      // blocks [0, romBlocks) are ROM
 	log       []Write
 	logOn     bool
+	logLimit  int
+	logHead   int // ring start when logLimit > 0 and the log is full
+	dropped   int
 	faults    int
 	clock     func() sim.Time
 	guard     func(firstBlock, lastBlock int) error
@@ -86,7 +91,14 @@ type Config struct {
 	// stamped at time 0.
 	Clock func() sim.Time
 	// LogWrites enables the write log used for consistency analysis.
+	// Leave it off for Monte Carlo sweeps: an unbounded log grows for
+	// the lifetime of the Memory and costs an append per write.
 	LogWrites bool
+	// LogLimit bounds the write log to the most recent N entries when
+	// positive (older entries are dropped and counted — see
+	// DroppedWrites). 0 keeps the historical unbounded behavior.
+	// Ignored unless LogWrites is set.
+	LogLimit int
 }
 
 // New builds a zeroed Memory. It panics on a malformed Config, since a
@@ -106,14 +118,19 @@ func New(cfg Config) *Memory {
 	if clock == nil {
 		clock = func() sim.Time { return 0 }
 	}
+	if cfg.LogLimit < 0 {
+		panic("mem: negative LogLimit")
+	}
 	return &Memory{
 		data:      make([]byte, cfg.Size),
 		blockSize: cfg.BlockSize,
 		nblocks:   n,
 		locked:    make([]bool, n),
 		lastWrite: make([]sim.Time, n),
+		gen:       make([]uint64, n),
 		romBlocks: cfg.ROMBlocks,
 		logOn:     cfg.LogWrites,
+		logLimit:  cfg.LogLimit,
 		clock:     clock,
 	}
 }
@@ -183,11 +200,25 @@ func (m *Memory) Write(off int, p []byte) error {
 	now := m.clock()
 	for b := first; b <= last; b++ {
 		m.lastWrite[b] = now
+		m.gen[b]++
 	}
 	if m.logOn {
-		m.log = append(m.log, Write{At: now, Block: first, Off: off, Len: len(p)})
+		m.logAppend(Write{At: now, Block: first, Off: off, Len: len(p)})
 	}
 	return nil
+}
+
+// logAppend records one write, honoring the retention limit: once the
+// log holds logLimit entries it becomes a ring and the oldest entry is
+// dropped (and counted) per new write.
+func (m *Memory) logAppend(w Write) {
+	if m.logLimit <= 0 || len(m.log) < m.logLimit {
+		m.log = append(m.log, w)
+		return
+	}
+	m.log[m.logHead] = w
+	m.logHead = (m.logHead + 1) % m.logLimit
+	m.dropped++
 }
 
 // WriteBlock overwrites block i with p (which must be exactly one block
@@ -274,9 +305,30 @@ func (m *Memory) ResetFaults() int {
 	return f
 }
 
-// WriteLog returns the log of successful writes (nil unless LogWrites
-// was set).
-func (m *Memory) WriteLog() []Write { return m.log }
+// WriteLog returns the log of successful writes in chronological order
+// (nil unless LogWrites was set). With a LogLimit in effect only the
+// most recent entries are retained; DroppedWrites counts the rest.
+func (m *Memory) WriteLog() []Write {
+	if m.logHead == 0 {
+		return m.log
+	}
+	out := make([]Write, 0, len(m.log))
+	out = append(out, m.log[m.logHead:]...)
+	return append(out, m.log[:m.logHead]...)
+}
+
+// DroppedWrites returns the number of write-log entries discarded to
+// honor the configured LogLimit.
+func (m *Memory) DroppedWrites() int { return m.dropped }
+
+// Generation returns the content generation of block i: the number of
+// mutations (successful writes, restores, random fills) that have
+// touched it. Digest caches key on it — any mutation path must bump it,
+// or a stale cached digest could mask malware.
+func (m *Memory) Generation(i int) uint64 {
+	m.checkBlock(i)
+	return m.gen[i]
+}
 
 // Snapshot returns a copy of the full memory contents.
 func (m *Memory) Snapshot() []byte {
@@ -294,14 +346,28 @@ func (m *Memory) Restore(s []byte) {
 		panic(fmt.Sprintf("mem: Restore: snapshot %d bytes, memory %d", len(s), len(m.data)))
 	}
 	copy(m.data, s)
+	// Every block's content may have changed: bump all generations so
+	// cached digests of the pre-restore content are invalidated.
+	for b := range m.gen {
+		m.gen[b]++
+	}
 }
 
 // FillRandom fills all non-ROM memory with deterministic pseudorandom
 // content drawn from rng, bypassing locks. Used to provision benign
-// device state.
+// device state. It draws one Uint64 per 8 bytes: per-byte generator
+// calls used to dominate world construction in Monte Carlo profiles.
 func (m *Memory) FillRandom(rng *rand.Rand) {
-	for i := m.romBlocks * m.blockSize; i < len(m.data); i++ {
+	start := m.romBlocks * m.blockSize
+	i := start
+	for ; i+8 <= len(m.data); i += 8 {
+		binary.LittleEndian.PutUint64(m.data[i:], rng.Uint64())
+	}
+	for ; i < len(m.data); i++ {
 		m.data[i] = byte(rng.Uint32())
+	}
+	for b := m.romBlocks; b < m.nblocks; b++ {
+		m.gen[b]++
 	}
 }
 

@@ -115,6 +115,59 @@ func SimulateTransientDetection(rng *rand.Rand, trials int, d, tm sim.Duration) 
 	return float64(detected) / float64(trials)
 }
 
+// IncrementalHashWork returns the expected number of host-side
+// block-hashing operations for k successive measurement rounds of an
+// n-block memory when per-block digests are cached (the incremental
+// engine of internal/inccache), with dirty blocks written between
+// consecutive rounds. The streaming engine hashes n*k blocks; the
+// incremental engine hashes all n once (a cold cache) and then only the
+// dirty blocks again in each later round:
+//
+//	n + (k-1)*dirty
+//
+// This is host-CPU work, not simulated device time: the simulation
+// charges full block-hashing durations on both paths, so virtual-time
+// results are path-invariant.
+func IncrementalHashWork(n, k, dirty int) int {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if dirty < 0 {
+		dirty = 0
+	}
+	if dirty > n {
+		dirty = n
+	}
+	return n + (k-1)*dirty
+}
+
+// StreamingHashWork returns the block-hashing operations the streaming
+// engine performs over the same k rounds: every round hashes every
+// block, n*k.
+func StreamingHashWork(n, k int) int {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	return n * k
+}
+
+// IncrementalSpeedup returns the asymptotic host-CPU speedup of the
+// incremental engine over streaming for a dirty fraction f per round:
+// lim k→∞ of StreamingHashWork / IncrementalHashWork = 1/f (unbounded
+// for a read-only image).
+func IncrementalSpeedup(n int, dirty int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	if dirty <= 0 {
+		return math.Inf(1)
+	}
+	if dirty > n {
+		dirty = n
+	}
+	return float64(n) / float64(dirty)
+}
+
 // BinomialCI returns the half-width of a ~95% normal-approximation
 // confidence interval for an observed proportion p over n trials.
 // Experiments use it to assert Monte Carlo results against closed

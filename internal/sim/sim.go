@@ -185,6 +185,53 @@ func (k *Kernel) RunUntil(t Time) {
 // RunFor is RunUntil(Now()+d).
 func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
 
+// Timer is a reusable scheduled callback with at most one pending
+// activation: Arm pushes the same Event object back onto the queue, so
+// a hot loop that schedules one completion at a time (the device
+// scheduler, the measurement engine's per-block steps) performs no
+// allocation per activation. Ordering is identical to Schedule — each
+// Arm consumes a fresh sequence number.
+type Timer struct {
+	ev Event
+	fn func()
+}
+
+// NewTimer builds a timer that runs fn each time it fires. The timer
+// starts unarmed.
+func (k *Kernel) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer called with nil callback")
+	}
+	t := &Timer{fn: fn}
+	t.ev.kernel = k
+	t.ev.index = -1
+	return t
+}
+
+// Arm schedules the timer to fire after delay (negative delays clamp to
+// the current instant, like Schedule). It panics if the timer is
+// already pending: a Timer models exactly one outstanding activation.
+func (t *Timer) Arm(delay Duration) {
+	if t.ev.index >= 0 {
+		panic("sim: Arm on a pending timer")
+	}
+	k := t.ev.kernel
+	if delay < 0 {
+		delay = 0
+	}
+	t.ev.at = k.now.Add(delay)
+	t.ev.seq = k.seq
+	k.seq++
+	t.ev.fn = t.fn
+	heap.Push(&k.queue, &t.ev)
+}
+
+// Cancel removes a pending activation (no-op if not pending).
+func (t *Timer) Cancel() { t.ev.Cancel() }
+
+// Pending reports whether an activation is queued.
+func (t *Timer) Pending() bool { return t.ev.Pending() }
+
 // Ticker fires a callback periodically until stopped. It reschedules
 // itself after each firing, so callbacks see a consistent period even if
 // they take zero virtual time.
@@ -192,7 +239,7 @@ type Ticker struct {
 	kernel *Kernel
 	period Duration
 	fn     func(Time)
-	ev     *Event
+	timer  *Timer
 	stop   bool
 }
 
@@ -203,24 +250,23 @@ func (k *Kernel) NewTicker(period Duration, fn func(Time)) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{kernel: k, period: period, fn: fn}
-	t.arm()
+	t.timer = k.NewTimer(t.tick)
+	t.timer.Arm(period)
 	return t
 }
 
-func (t *Ticker) arm() {
-	t.ev = t.kernel.Schedule(t.period, func() {
-		if t.stop {
-			return
-		}
-		t.fn(t.kernel.Now())
-		if !t.stop {
-			t.arm()
-		}
-	})
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	t.fn(t.kernel.Now())
+	if !t.stop {
+		t.timer.Arm(t.period)
+	}
 }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stop = true
-	t.ev.Cancel()
+	t.timer.Cancel()
 }

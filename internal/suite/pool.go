@@ -15,28 +15,63 @@ import (
 // bound to its key at construction and must never be handed to a
 // scheme with a different key.
 //
+// The pool registry is a nested map under an RWMutex rather than a
+// sync.Map keyed by a struct: the struct key forced a []byte→string
+// allocation on every acquire/release, which made the pooled path
+// slower than building fresh state for cheap schemes. The inner
+// map[string] lookup with a string([]byte) conversion is recognized by
+// the compiler and does not allocate.
+//
 // All pools are safe for concurrent use (the parallel trial engine
 // acquires from many goroutines at once).
 
-type poolKey struct {
-	id  HashID
-	key string // MAC key; "" for unkeyed hashes
+var (
+	poolMu    sync.RWMutex
+	hashPools = map[HashID]*sync.Pool{}
+	macPools  = map[HashID]map[string]*sync.Pool{}
+)
+
+func hashPoolFor(id HashID) *sync.Pool {
+	poolMu.RLock()
+	p := hashPools[id]
+	poolMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if p = hashPools[id]; p == nil {
+		p = &sync.Pool{}
+		hashPools[id] = p
+	}
+	return p
 }
 
-var hashPools sync.Map // poolKey -> *sync.Pool of hash.Hash
-
-func poolFor(k poolKey) *sync.Pool {
-	if p, ok := hashPools.Load(k); ok {
-		return p.(*sync.Pool)
+func macPoolFor(id HashID, key []byte) *sync.Pool {
+	poolMu.RLock()
+	p := macPools[id][string(key)] // no-alloc map lookup
+	poolMu.RUnlock()
+	if p != nil {
+		return p
 	}
-	p, _ := hashPools.LoadOrStore(k, &sync.Pool{})
-	return p.(*sync.Pool)
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	inner := macPools[id]
+	if inner == nil {
+		inner = map[string]*sync.Pool{}
+		macPools[id] = inner
+	}
+	if p = inner[string(key)]; p == nil {
+		p = &sync.Pool{}
+		inner[string(key)] = p
+	}
+	return p
 }
 
 // AcquireHash returns a ready-to-write unkeyed hash for id, reusing a
 // pooled state when one is available. Pair with ReleaseHash.
 func AcquireHash(id HashID) (hash.Hash, error) {
-	if h, ok := poolFor(poolKey{id: id}).Get().(hash.Hash); ok {
+	if h, ok := hashPoolFor(id).Get().(hash.Hash); ok {
 		return h, nil
 	}
 	return NewHash(id)
@@ -49,14 +84,14 @@ func ReleaseHash(id HashID, h hash.Hash) {
 		return
 	}
 	h.Reset()
-	poolFor(poolKey{id: id}).Put(h)
+	hashPoolFor(id).Put(h)
 }
 
 // AcquireMAC returns a ready-to-write keyed MAC for (id, key), reusing
 // a pooled state when one is available. Pair with ReleaseMAC using the
 // same id and key.
 func AcquireMAC(id HashID, key []byte) (hash.Hash, error) {
-	if h, ok := poolFor(poolKey{id: id, key: string(key)}).Get().(hash.Hash); ok {
+	if h, ok := macPoolFor(id, key).Get().(hash.Hash); ok {
 		return h, nil
 	}
 	return NewMAC(id, key)
@@ -70,8 +105,15 @@ func ReleaseMAC(id HashID, key []byte, h hash.Hash) {
 		return
 	}
 	h.Reset()
-	poolFor(poolKey{id: id, key: string(key)}).Put(h)
+	macPoolFor(id, key).Put(h)
 }
+
+// Tagger wrappers are pooled separately from the hash states they wrap,
+// so an acquire/release cycle allocates nothing at steady state.
+var (
+	macTaggers  = sync.Pool{New: func() any { return new(macTagger) }}
+	signTaggers = sync.Pool{New: func() any { return new(signTagger) }}
+)
 
 // AcquireTagger is NewTagger backed by the hash-state pool: the
 // returned Tagger wraps a pooled (or freshly built) state. Callers that
@@ -84,13 +126,17 @@ func (s Scheme) AcquireTagger() (Tagger, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &signTagger{h: h, signer: s.Signer}, nil
+		t := signTaggers.Get().(*signTagger)
+		t.h, t.signer = h, s.Signer
+		return t, nil
 	}
 	m, err := AcquireMAC(s.Hash, s.Key)
 	if err != nil {
 		return nil, err
 	}
-	return &macTagger{h: m}, nil
+	t := macTaggers.Get().(*macTagger)
+	t.h = m
+	return t, nil
 }
 
 // ReleaseTagger returns t's hash state to the pool. t must have been
@@ -101,9 +147,11 @@ func (s Scheme) ReleaseTagger(t Tagger) {
 	case *macTagger:
 		ReleaseMAC(s.Hash, s.Key, tt.h)
 		tt.h = nil
+		macTaggers.Put(tt)
 	case *signTagger:
 		ReleaseHash(s.Hash, tt.h)
-		tt.h = nil
+		tt.h, tt.signer = nil, nil
+		signTaggers.Put(tt)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"saferatt/internal/core"
+	"saferatt/internal/inccache"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
 )
@@ -63,6 +64,10 @@ type Collector struct {
 	// order is judgeNode's traversal-order scratch, reused across
 	// reports (a Collector judges one aggregate at a time).
 	order []int
+	// goldens lazily caches per-block digests of each node's golden
+	// image, for judging incremental reports: digests are computed once
+	// per node, not once per swarm round.
+	goldens map[string]*inccache.ImageCache
 }
 
 // NewCollector builds an empty collector for the given measurement
@@ -128,11 +133,28 @@ func (c *Collector) judgeNode(name string, reports []*core.Report, nonce []byte)
 		// Stream the expected measurement straight into pooled hash
 		// state; a swarm round judges every member, so the image-sized
 		// buffer this used to build dominated collector allocations.
+		// Incremental reports are judged over cached golden digests.
 		c.order = core.AppendOrderRegion(c.order[:0], key, rep.Nonce, rep.Round, 0, geom[1], c.shuffle)
-		ok, err := scheme.VerifyStream(func(w io.Writer) error {
-			core.ExpectedStream(w, ref, geom[0], rep.Nonce, rep.Round, c.order)
-			return nil
-		}, rep.Tag)
+		var ok bool
+		var err error
+		if rep.Incremental {
+			g := c.goldens[name]
+			if g == nil {
+				if c.goldens == nil {
+					c.goldens = map[string]*inccache.ImageCache{}
+				}
+				g = inccache.NewImage(ref, geom[0], inccache.DigestHash(c.hash))
+				c.goldens[name] = g
+			}
+			ok, err = scheme.VerifyStream(func(w io.Writer) error {
+				return core.ExpectedDigestStream(w, g.DigestOK, rep.Nonce, rep.Round, c.order)
+			}, rep.Tag)
+		} else {
+			ok, err = scheme.VerifyStream(func(w io.Writer) error {
+				core.ExpectedStream(w, ref, geom[0], rep.Nonce, rep.Round, c.order)
+				return nil
+			}, rep.Tag)
+		}
 		if err != nil {
 			v.Reason = "verification error: " + err.Error()
 			return v

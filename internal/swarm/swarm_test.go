@@ -59,7 +59,7 @@ func (f *fleet) verifyAggregate(t testing.TB, agg *Aggregate, nonce []byte) map[
 			scheme := suite.Scheme{Hash: suite.SHA256, Key: node.Dev.AttestationKey}
 			order := core.DeriveOrder(node.Dev.AttestationKey, rep.Nonce, rep.Round, node.Dev.Mem.NumBlocks(), false)
 			var buf bytes.Buffer
-			core.ExpectedStream(&buf, ref, 256, rep.Nonce, rep.Round, order)
+			core.ExpectedStreamForReport(&buf, suite.SHA256, rep, ref, 256, order)
 			good, err := scheme.VerifyTag(&buf, rep.Tag)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,95 @@
+package verifier
+
+import (
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/suite"
+)
+
+// The verifier must mirror whichever measurement path the prover used
+// (Report.Incremental), accepting clean devices and rejecting tampered
+// ones identically on both.
+func TestVerifierPathMirroring(t *testing.T) {
+	for _, path := range []core.PathMode{core.PathStreaming, core.PathIncremental} {
+		opts := core.Preset(core.SMART, suite.SHA256)
+		opts.Path = path
+
+		// Clean round accepted.
+		w := newWorld(t, opts, channel.Config{})
+		if _, err := core.NewProver("prv", w.dev, w.link, opts, 10); err != nil {
+			t.Fatal(err)
+		}
+		w.v.Challenge("prv")
+		w.k.Run()
+		res, ok := w.v.LastResult()
+		if !ok || !res.OK {
+			t.Fatalf("%v: clean device rejected: %+v", path, res)
+		}
+		if want := path == core.PathIncremental; res.Report.Incremental != want {
+			t.Fatalf("%v: Report.Incremental = %v", path, res.Report.Incremental)
+		}
+
+		// Repeat rounds on the same verifier: its golden digest cache
+		// must survive across rounds and still accept.
+		w.v.Challenge("prv")
+		w.k.Run()
+		if res, ok := w.v.LastResult(); !ok || !res.OK {
+			t.Fatalf("%v: second round rejected: %+v", path, res)
+		}
+
+		// Tampering after the caches are warm is still caught.
+		if err := w.m.Poke(5*256+1, 0xAA); err != nil {
+			t.Fatal(err)
+		}
+		w.v.Challenge("prv")
+		w.k.Run()
+		if res, _ := w.v.LastResult(); res.OK {
+			t.Fatalf("%v: tampered memory accepted after warm rounds", path)
+		}
+	}
+}
+
+// Data-region policies on the incremental path: zeroed regions verify
+// via the cached zero digest, reported regions via per-report digests,
+// and a malformed reported copy is rejected.
+func TestVerifierIncrementalDataPolicies(t *testing.T) {
+	opts := core.Preset(core.NoLock, suite.SHA256)
+	opts.Path = core.PathIncremental
+	opts.Data = core.DataRegion{Blocks: []int{9, 10}, Policy: core.DataZeroed}
+	w := newWorld(t, opts, channel.Config{})
+	if _, err := core.NewProver("prv", w.dev, w.link, opts, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.m.Poke(9*256+5, 0x3C); err != nil {
+		t.Fatal(err)
+	}
+	w.v.Challenge("prv")
+	w.k.Run()
+	if res, ok := w.v.LastResult(); !ok || !res.OK {
+		t.Fatalf("incremental zeroed-region attestation rejected: %+v", res)
+	}
+
+	opts2 := core.Preset(core.NoLock, suite.SHA256)
+	opts2.Path = core.PathIncremental
+	opts2.Data = core.DataRegion{Blocks: []int{9}, Policy: core.DataReported}
+	w2 := newWorld(t, opts2, channel.Config{})
+	if _, err := core.NewProver("prv", w2.dev, w2.link, opts2, 10); err != nil {
+		t.Fatal(err)
+	}
+	w2.v.Challenge("prv")
+	w2.k.Run()
+	res, ok := w2.v.LastResult()
+	if !ok || !res.OK {
+		t.Fatalf("incremental reported-region attestation rejected: %+v", res)
+	}
+
+	// A report whose data copy was stripped must fail verification, not
+	// be silently accepted against the (stale) golden digest.
+	rep := *res.Report
+	rep.Data = nil
+	if ok, _ := w2.v.CheckTag(&rep); ok {
+		t.Fatal("report with missing data copy accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"saferatt/internal/channel"
 	"saferatt/internal/core"
+	"saferatt/internal/inccache"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
 	"saferatt/internal/trace"
@@ -69,6 +70,10 @@ type Verifier struct {
 	// order is CheckTag's traversal-order scratch, reused across
 	// reports (a Verifier handles one report at a time).
 	order []int
+	// golden lazily caches per-block digests of Ref for incremental
+	// reports: the golden image is immutable, so its digests are
+	// computed once per verifier, not once per report.
+	golden *inccache.ImageCache
 }
 
 type pendingChallenge struct {
@@ -215,16 +220,14 @@ func (v *Verifier) verifyOne(prover string, r *core.Report, wantNonce []byte) Re
 // CheckTag recomputes the expected measurement over the golden image
 // in the report's (re-derived) traversal order and compares tags. The
 // configured data region is honored: zeroed blocks are expected zero,
-// reported blocks are taken verbatim from the report (§2.3).
+// reported blocks are taken verbatim from the report (§2.3). The
+// recomputation mirrors the report's data path: raw bytes for streaming
+// reports, cached per-block golden digests for incremental ones.
 func (v *Verifier) CheckTag(r *core.Report) (bool, error) {
 	n := len(v.Ref) / r.BlockSize
 	if n*r.BlockSize != len(v.Ref) || n != r.NumBlocks {
 		return false, fmt.Errorf("verifier: geometry mismatch: report %dx%d vs ref %d bytes",
 			r.NumBlocks, r.BlockSize, len(v.Ref))
-	}
-	ref, err := core.EffectiveReference(v.Ref, r.BlockSize, v.Opts.Data, r.Data)
-	if err != nil {
-		return false, err
 	}
 	start, count := 0, n
 	if r.RegionCount > 0 {
@@ -234,6 +237,22 @@ func (v *Verifier) CheckTag(r *core.Report) (bool, error) {
 		start, count = r.RegionStart, r.RegionCount
 	}
 	v.order = core.AppendOrderRegion(v.order[:0], v.PermKey, r.Nonce, r.Round, start, count, v.Opts.Shuffled)
+	if r.Incremental {
+		if v.golden == nil || v.golden.BlockSize() != r.BlockSize {
+			v.golden = inccache.NewImage(v.Ref, r.BlockSize, inccache.DigestHash(v.Scheme.Hash))
+		}
+		digest, err := core.EffectiveDigests(v.golden, v.Opts.Data, r.Data)
+		if err != nil {
+			return false, err
+		}
+		return v.Scheme.VerifyStream(func(w io.Writer) error {
+			return core.ExpectedDigestStream(w, digest, r.Nonce, r.Round, v.order)
+		}, r.Tag)
+	}
+	ref, err := core.EffectiveReference(v.Ref, r.BlockSize, v.Opts.Data, r.Data)
+	if err != nil {
+		return false, err
+	}
 	return v.Scheme.VerifyStream(func(w io.Writer) error {
 		core.ExpectedStream(w, ref, r.BlockSize, r.Nonce, r.Round, v.order)
 		return nil

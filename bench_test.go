@@ -8,6 +8,7 @@ package saferatt
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"saferatt/internal/core"
@@ -15,6 +16,7 @@ import (
 	"saferatt/internal/experiments"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
+	"saferatt/internal/swarm"
 )
 
 // BenchmarkFig1_OnDemandTimeline regenerates the Figure 1 protocol
@@ -398,6 +400,91 @@ func Benchmark_TaggerReuse(b *testing.B) {
 			scheme.ReleaseTagger(tg)
 		}
 	})
+}
+
+// BenchmarkSwarm_Round measures fleet attestation on the sharded
+// engine: one iteration provisions a fleet and runs three collection
+// rounds (like every benchmark in this file, an iteration is the full
+// experiment). "naive" is the pre-optimization baseline: every device
+// holds a private full image copy, the collector snapshots each one,
+// every device warms its own digest cache, and each report is verified
+// independently. "optimized" is the shipping configuration:
+// copy-on-write views of one golden image (provisioning copies
+// nothing), one shared digest cache, and batched verification (one
+// expected tag per round for the whole clean fleet). Verdicts are
+// bit-identical (see TestShardedCOWMatchesFullCopy and
+// TestCollectorBatchedMatchesUnbatched); only cost differs.
+// ns/dev-round and B/dev-round divide by devices × rounds.
+func BenchmarkSwarm_Round(b *testing.B) {
+	const rounds = 1
+	for _, n := range []int{100, 1000} {
+		for _, m := range []struct {
+			name  string
+			naive bool
+		}{{"naive", true}, {"optimized", false}} {
+			b.Run(fmt.Sprintf("N%d/%s", n, m.name), func(b *testing.B) {
+				nonce := make([]byte, 0, 32)
+				b.ReportAllocs()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				bytesBefore := ms.TotalAlloc
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s, err := swarm.NewSharded(swarm.ShardedConfig{
+						Devices: n, MemSize: 16 << 10, BlockSize: 256,
+						Seed: uint64(i), FullCopy: m.naive,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					s.Collector.Batched = !m.naive
+					for r := 0; r < rounds; r++ {
+						nonce = fmt.Appendf(nonce[:0], "bench-%d-%d", i, r)
+						res, err := s.Round(nonce)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !res.Healthy() {
+							b.Fatal("clean fleet judged unhealthy")
+						}
+					}
+				}
+				b.StopTimer()
+				runtime.ReadMemStats(&ms)
+				perDev := float64(b.N * n * rounds)
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/perDev, "ns/dev-round")
+				b.ReportMetric(float64(ms.TotalAlloc-bytesBefore)/perDev, "B/dev-round")
+			})
+		}
+	}
+}
+
+// BenchmarkSwarm_Provision measures fleet construction: N private
+// full-image copies (naive) vs N copy-on-write views of one shared
+// golden image (optimized). The bytes/op gap is the resident-memory
+// story behind TestSharded10K.
+func BenchmarkSwarm_Provision(b *testing.B) {
+	const n = 100
+	for _, m := range []struct {
+		name  string
+		naive bool
+	}{{"naive", true}, {"optimized", false}} {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := swarm.NewSharded(swarm.ShardedConfig{
+					Devices: n, MemSize: 16 << 10, BlockSize: 256,
+					Seed: uint64(i), FullCopy: m.naive,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Devices() != n {
+					b.Fatal("fleet size")
+				}
+			}
+		})
+	}
 }
 
 func byteLabel(n int) string {

@@ -7,11 +7,13 @@
 //	figures -fig 2               # one figure (1,2,4,5)
 //	figures -table 1             # Table 1
 //	figures -exp e5|e6|e8        # section experiments
+//	figures -exp e11             # swarm-at-scale experiment (100/1k/10k devices)
 //	figures -ablation a1..a4     # ablations
 //	figures -quick               # reduced trial counts
 //	figures -parallel 4          # trial worker count (results identical)
 //	figures -incremental=false   # streaming measurement path (results identical)
 //	figures -cpuprofile cpu.out  # write a pprof CPU profile
+//	figures -memprofile mem.out  # write a pprof heap profile at exit
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 
 	"saferatt/internal/core"
@@ -33,14 +36,16 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "regenerate figure N (1, 2, 4, 5)")
 		table    = flag.Int("table", 0, "regenerate table N (1)")
-		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10)")
+		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10, e11)")
 		ablation = flag.String("ablation", "", "run ablation (a1, a2, a3, a4, a5)")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "reduced Monte Carlo trial counts")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSV files into this directory")
 		par      = flag.Int("parallel", 0, "Monte Carlo worker count (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		inc      = flag.Bool("incremental", true, "use the incremental measurement engine (results are identical)")
+		naive    = flag.Bool("naive-swarm", false, "e11: full-copy images and per-report verification (pre-optimization baseline)")
 	)
 	flag.Parse()
 
@@ -60,6 +65,22 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			// A GC right before the snapshot drops dead objects, so the
+			// profile shows what the run actually retains.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	trials := func(full int) int {
@@ -142,6 +163,14 @@ func main() {
 	})
 	run("E10 (§3.3): challenge-flood DoS, on-demand vs SeED", *exp == "e10", func() {
 		fmt.Print(experiments.RenderE10(experiments.E10DoS(experiments.E10Config{})))
+	})
+	run("E11: swarm at scale (COW images, sharded rounds, batched verification)", *exp == "e11", func() {
+		cfg := experiments.E11Config{Shards: *par, FullCopy: *naive}
+		if *quick {
+			cfg.DeviceCounts = []int{100, 1000}
+			cfg.Rounds = 1
+		}
+		fmt.Print(experiments.RenderE11(experiments.E11SwarmScale(cfg)))
 	})
 	run("A1: SMARM block-count ablation", *ablation == "a1", func() {
 		fmt.Print(experiments.RenderA1(experiments.AblationSMARMBlocks(nil, trials(100), 1)))

@@ -10,6 +10,7 @@
 //	rattsim -mode erasmus -horizon 60 -tm 10  # self-measurement + collection
 //	rattsim -mode seed -loss 0.1 -horizon 90  # non-interactive over lossy link
 //	rattsim -mode swarm -nodes 31 -infect 17  # collective attestation
+//	rattsim -mode swarm -devices 10000 -shards 8 -infect 42  # sharded fleet (COW images, batched verification)
 //	rattsim -mode tytan                       # per-process + colluding malware
 //	rattsim -mode tytan -no-isolation         # ... with the OS vulnerability
 package main
@@ -42,6 +43,8 @@ func main() {
 		loss    = flag.Float64("loss", 0, "seed: channel loss rate")
 		nodes   = flag.Int("nodes", 15, "swarm: number of nodes")
 		infect  = flag.Int("infect", -1, "swarm: node index to infect (-1 none)")
+		devices = flag.Int("devices", 0, "swarm: fleet size for the sharded engine (0 = tree protocol with -nodes)")
+		shards  = flag.Int("shards", 0, "swarm: worker shards for -devices (0 = GOMAXPROCS; results identical)")
 		noIso   = flag.Bool("no-isolation", false, "tytan: disable process isolation (the OS vulnerability)")
 		inc     = flag.Bool("incremental", true, "use the incremental measurement engine (dirty-block digest caching)")
 	)
@@ -58,6 +61,10 @@ func main() {
 		runSeed(*memSize, *block, *seed, *horizon, *loss)
 		return
 	case "swarm":
+		if *devices > 0 {
+			runSwarmSharded(*devices, *shards, *seed, *infect)
+			return
+		}
 		runSwarm(*nodes, *seed, *infect)
 		return
 	case "tytan":

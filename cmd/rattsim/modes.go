@@ -122,6 +122,38 @@ func runSwarm(n int, seed uint64, infect int) {
 	fmt.Printf("healthy=%v infected=%v missing=%v\n", res.Healthy(), res.Infected(), res.Missing)
 }
 
+// runSwarmSharded drives a fleet-scale collection round on the sharded
+// engine: copy-on-write device images, worker-sharded measurement, and
+// batched verification at the collector.
+func runSwarmSharded(devices, shards int, seed uint64, infect int) {
+	s, err := swarm.NewSharded(swarm.ShardedConfig{
+		Devices: devices,
+		Seed:    seed,
+		Shards:  shards,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if infect >= 0 && infect < devices {
+		if err := s.Mem(infect).Poke(5*256+1, 0xBD); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("infecting d%05d\n", infect)
+	}
+	nonce := []byte(fmt.Sprintf("round-%d", seed))
+	res, err := s.Round(nonce)
+	if err != nil {
+		fatal(err)
+	}
+	bs := s.Collector.BatchStats()
+	fmt.Printf("sharded fleet of %d: completed at %v\n", devices, res.At)
+	fmt.Printf("resident image bytes: %d (golden + %d dirty blocks)\n",
+		s.ResidentBytes(), s.DirtyBlocks())
+	fmt.Printf("verification: %d expected tags computed for %d reports\n",
+		bs.Computed, bs.Reports)
+	fmt.Printf("healthy=%v infected=%v missing=%v\n", res.Healthy(), res.Infected(), res.Missing)
+}
+
 // runTyTAN drives a per-process attestation round with colluding
 // malware, with and without process isolation.
 func runTyTAN(seed uint64, isolation bool) {

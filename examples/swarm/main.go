@@ -29,13 +29,18 @@ func main() {
 	link := channel.New(channel.Config{Kernel: k, Latency: 2 * sim.Millisecond})
 	opts := core.Preset(core.NoLock, suite.SHA256)
 
+	// Every node runs the same firmware: one golden image, shared
+	// copy-on-write. A node materializes a private block only when it
+	// diverges (here: when malware writes to it), so the whole swarm
+	// holds one image plus the victim's dirty block.
+	golden := mem.RandomGolden(32<<10, 1024, 1, rand.New(rand.NewPCG(42, 2024)))
+
 	nodes := make([]*swarm.Node, 0, n)
 	index := map[string]*swarm.Node{}
 	collector := swarm.NewCollector(suite.SHA256)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("node%02d", i)
-		m := mem.New(mem.Config{Size: 32 << 10, BlockSize: 1024, ROMBlocks: 1, Clock: k.Now})
-		m.FillRandom(rand.New(rand.NewPCG(uint64(i), 2024)))
+		m := mem.NewShared(golden, mem.SharedConfig{Clock: k.Now})
 		dev := device.New(device.Config{Kernel: k, Mem: m, Profile: costmodel.ODROIDXU4()})
 		node, err := swarm.NewNode(name, dev, link, opts, 5)
 		if err != nil {
@@ -63,8 +68,14 @@ func main() {
 	root.Attest(nonce)
 	k.Run()
 
-	fmt.Printf("aggregate complete at %v: %d nodes, %d messages, tree depth %d\n\n",
+	dirty := 0
+	for _, node := range nodes {
+		dirty += node.Dev.Mem.DirtyBlocks()
+	}
+	fmt.Printf("aggregate complete at %v: %d nodes, %d messages, tree depth %d\n",
 		k.Now(), len(agg.Reports), link.Stats().Sent, swarm.Depth(root, index))
+	fmt.Printf("swarm memory: one %d KiB golden image + %d dirty block(s)\n\n",
+		golden.Size()>>10, dirty)
 
 	res := collector.Judge(agg, nonce, k.Now())
 	infected := res.Infected()

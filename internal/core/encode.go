@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"io"
 	"math/rand/v2"
+	"sync"
 
 	"saferatt/internal/inccache"
 	"saferatt/internal/suite"
@@ -26,13 +27,14 @@ func writeMeasurementHeader(w io.Writer, nonce []byte, round int) {
 	w.Write(nonce)
 }
 
-// writeBlockHeader emits the per-block prefix: traversal position and
-// block index.
-func writeBlockHeader(w io.Writer, pos, block int) {
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(pos))
-	binary.BigEndian.PutUint32(hdr[4:], uint32(block))
-	w.Write(hdr[:])
+// putBlockHeader encodes the per-block prefix — traversal position and
+// block index — into buf and returns it as a slice. Callers own buf so
+// the scratch lives outside the per-block loop; passing a loop-local
+// array to an io.Writer would escape and allocate once per block.
+func putBlockHeader(buf *[8]byte, pos, block int) []byte {
+	binary.BigEndian.PutUint32(buf[:4], uint32(pos))
+	binary.BigEndian.PutUint32(buf[4:], uint32(block))
+	return buf[:]
 }
 
 // DeriveOrder returns the block traversal order for a measurement:
@@ -53,6 +55,27 @@ func DeriveOrder(permKey, nonce []byte, round, n int, shuffled bool) []int {
 // only the measured process's region.
 func DeriveOrderRegion(permKey, nonce []byte, round, start, count int, shuffled bool) []int {
 	return AppendOrderRegion(nil, permKey, nonce, round, start, count, shuffled)
+}
+
+var identityOrders sync.Map // [2]int{start, count} -> []int
+
+// identityOrder returns the process-shared identity traversal order for
+// [start, start+count). Sequential (non-shuffled) measurement orders
+// are identical for every device, round and nonce, so every session in
+// a fleet can alias one slice instead of rebuilding it. The slice is
+// read-only by contract — Report.Order exposes it and nothing may
+// mutate a report's order.
+func identityOrder(start, count int) []int {
+	k := [2]int{start, count}
+	if o, ok := identityOrders.Load(k); ok {
+		return o.([]int)
+	}
+	o := make([]int, count)
+	for i := range o {
+		o[i] = start + i
+	}
+	actual, _ := identityOrders.LoadOrStore(k, o)
+	return actual.([]int)
 }
 
 // AppendOrderRegion is DeriveOrderRegion writing into dst's capacity:
@@ -121,8 +144,9 @@ func ExpectedStreamForReport(w io.Writer, hash suite.HashID, rep *Report, ref []
 // lists block indices in traversal order.
 func ExpectedStream(w io.Writer, ref []byte, blockSize int, nonce []byte, round int, order []int) {
 	writeMeasurementHeader(w, nonce, round)
+	var hdr [8]byte
 	for pos, b := range order {
-		writeBlockHeader(w, pos, b)
+		w.Write(putBlockHeader(&hdr, pos, b))
 		w.Write(ref[b*blockSize : (b+1)*blockSize])
 	}
 }
@@ -136,12 +160,13 @@ func ExpectedStream(w io.Writer, ref []byte, blockSize int, nonce []byte, round 
 // returned (mirroring the streaming path's missing-data errors).
 func ExpectedDigestStream(w io.Writer, digest func(b int) ([]byte, error), nonce []byte, round int, order []int) error {
 	writeMeasurementHeader(w, nonce, round)
+	var hdr [8]byte
 	for pos, b := range order {
 		d, err := digest(b)
 		if err != nil {
 			return err
 		}
-		writeBlockHeader(w, pos, b)
+		w.Write(putBlockHeader(&hdr, pos, b))
 		w.Write(d)
 	}
 	return nil

@@ -50,6 +50,9 @@ type Measurement struct {
 	// submitted block step.
 	stepFn   func()
 	finishFn func()
+	// hdr is the block-header encode scratch; a function-local array
+	// would escape through the tagger's io.Writer and allocate per block.
+	hdr [8]byte
 }
 
 // NewMeasurement prepares a measurement round on dev, running as task.
@@ -170,7 +173,14 @@ func (m *Measurement) begin() {
 	if m.opts.Region.Count > 0 {
 		start, count = m.opts.Region.Start, m.opts.Region.Count
 	}
-	m.order = DeriveOrderRegion(m.dev.AttestationKey, m.nonce, m.round, start, count, m.opts.Shuffled)
+	if m.opts.Shuffled {
+		m.order = DeriveOrderRegion(m.dev.AttestationKey, m.nonce, m.round, start, count, true)
+	} else {
+		// Sequential traversal: alias the process-shared identity order
+		// instead of building one per session (a fleet round creates one
+		// session per device).
+		m.order = identityOrder(start, count)
+	}
 	m.cov = mem.NewCoverage(memory.NumBlocks())
 	writeMeasurementHeader(m.tagger, m.nonce, m.round)
 	m.dev.Trace.Addf(m.ts, trace.KindMeasureStart, m.task.Name(), "%s round %d (t_s)", m.opts.Mechanism, m.round)
@@ -226,7 +236,7 @@ func (m *Measurement) step() { m.coverBlock(m.order[m.pos]) }
 // path), apply sliding-lock transitions, notify observers, continue.
 func (m *Measurement) coverBlock(b int) {
 	memory := m.dev.Mem
-	writeBlockHeader(m.tagger, m.pos, b)
+	m.tagger.Write(putBlockHeader(&m.hdr, m.pos, b))
 	if m.cache != nil {
 		m.tagger.Write(m.cache.Digest(b))
 	} else {

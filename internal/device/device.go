@@ -268,8 +268,13 @@ func (d *Device) dispatch() {
 	if t == nil {
 		return
 	}
+	// Pop by shifting down rather than re-slicing forward: advancing the
+	// slice base would consume capacity and force every submit-pop cycle
+	// (one per measured block) to reallocate the backing array.
 	st := t.queue[0]
-	t.queue = t.queue[1:]
+	n := copy(t.queue, t.queue[1:])
+	t.queue[n] = step{}
+	t.queue = t.queue[:n]
 
 	dur := st.dur
 	if d.lastRan != t {

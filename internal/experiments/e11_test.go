@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestE11SwarmScale smoke-checks the scaling experiment at reduced
+// size: detection counts, COW dirty-block accounting, and
+// batched-verification amortization.
+func TestE11SwarmScale(t *testing.T) {
+	rows := E11SwarmScale(E11Config{DeviceCounts: []int{50, 200}, Rounds: 1, Shards: 4})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (healthy+infected per device count)", len(rows))
+	}
+	for i, r := range rows {
+		if r.Missing != 0 {
+			t.Errorf("row %d: %d devices missing from aggregate", i, r.Missing)
+		}
+		if infected := i%2 == 1; infected {
+			if r.Infected == 0 || r.Detected != r.Infected {
+				t.Errorf("row %d: detected %d of %d infected", i, r.Detected, r.Infected)
+			}
+			if r.DirtyBlocks != r.Infected {
+				t.Errorf("row %d: dirty blocks %d, want %d (one per victim)", i, r.DirtyBlocks, r.Infected)
+			}
+		} else if r.Infected != 0 || r.Detected != 0 || r.DirtyBlocks != 0 {
+			t.Errorf("row %d: healthy fleet reports infection: %+v", i, r)
+		}
+		if r.TagsComputed >= r.Reports || r.Reports == 0 {
+			t.Errorf("row %d: no amortization: %d tags for %d reports", i, r.TagsComputed, r.Reports)
+		}
+	}
+}
+
+// TestE11ShardInvariance pins that E11 rows are bit-identical for any
+// shard count once the one host-dependent column (wall time) is zeroed.
+func TestE11ShardInvariance(t *testing.T) {
+	run := func(shards int) []E11Row {
+		rows := E11SwarmScale(E11Config{DeviceCounts: []int{64}, Rounds: 2, Shards: shards})
+		for i := range rows {
+			rows[i].WallNS = 0
+		}
+		return rows
+	}
+	want := run(1)
+	for _, shards := range []int{4, 16} {
+		if got := run(shards); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d rows differ\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}

@@ -44,19 +44,23 @@ func DigestHash(id suite.HashID) suite.HashID {
 }
 
 // DigestSize returns the digest length in bytes for a (digest-capable)
-// hash.
+// hash. Uses pooled hash state: it runs once per cache construction,
+// which is once per device in a fleet.
 func DigestSize(id suite.HashID) int {
-	h, err := suite.NewHash(id)
+	h, err := suite.AcquireHash(id)
 	if err != nil {
 		panic("inccache: " + err.Error())
 	}
-	return h.Size()
+	n := h.Size()
+	suite.ReleaseHash(id, h)
+	return n
 }
 
 // Stats counts cache effectiveness.
 type Stats struct {
-	Hits   uint64 // digests served from cache
+	Hits   uint64 // digests served from this cache
 	Misses uint64 // digests (re)computed
+	Shared uint64 // digests served from a fleet-shared golden cache
 }
 
 // MemCache caches per-block digests of a live mem.Memory, keyed on the
@@ -64,27 +68,35 @@ type Stats struct {
 // device for a given digest hash: per-block digests survive across
 // rounds, sessions and mechanisms as long as the block is not written.
 type MemCache struct {
-	mu    sync.Mutex
-	mem   *mem.Memory
-	hash  suite.HashID
-	size  int
+	mu     sync.Mutex
+	mem    *mem.Memory
+	golden *ImageCache // fleet-shared digests for clean COW blocks; nil for flat memories
+	hash   suite.HashID
+	size   int
+	// stamp/dig are allocated on the first digest that cannot be served
+	// from the shared golden cache: a clean copy-on-write device never
+	// pays for per-device digest storage.
 	stamp []uint64 // generation+1 at fill time; 0 = never filled
 	dig   []byte   // nblocks × size, flat
 	stats Stats
 }
 
 // NewMem builds an empty cache over m using the given digest hash (pass
-// the scheme hash through DigestHash first).
+// the scheme hash through DigestHash first). For a copy-on-write memory
+// (mem.NewShared), digests of clean blocks are served from the
+// process-wide golden cache (SharedImage), so a fleet of devices on one
+// image hashes each golden block once total rather than once per
+// device.
 func NewMem(m *mem.Memory, hash suite.HashID) *MemCache {
-	size := DigestSize(hash)
-	n := m.NumBlocks()
-	return &MemCache{
-		mem:   m,
-		hash:  hash,
-		size:  size,
-		stamp: make([]uint64, n),
-		dig:   make([]byte, n*size),
+	c := &MemCache{
+		mem:  m,
+		hash: hash,
+		size: DigestSize(hash),
 	}
+	if g := m.SharedGolden(); g != nil {
+		c.golden = SharedImage(g, hash)
+	}
+	return c
 }
 
 // Hash returns the digest hash the cache computes.
@@ -97,6 +109,19 @@ func (c *MemCache) Hash() suite.HashID { return c.hash }
 func (c *MemCache) Digest(b int) []byte {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A clean COW block is bit-identical to the golden block (writes
+	// materialize; restores that recover golden content dematerialize),
+	// so the fleet-shared golden digest is the digest of the live
+	// content — no generation check needed.
+	if c.golden != nil && c.mem.BlockClean(b) {
+		c.stats.Shared++
+		return c.golden.Digest(b)
+	}
+	if c.stamp == nil {
+		n := c.mem.NumBlocks()
+		c.stamp = make([]uint64, n)
+		c.dig = make([]byte, n*c.size)
+	}
 	want := c.mem.Generation(b) + 1
 	d := c.dig[b*c.size : (b+1)*c.size : (b+1)*c.size]
 	if c.stamp[b] == want {
@@ -206,6 +231,31 @@ func DigestOf(hash suite.HashID, content, dst []byte) []byte {
 	dst = h.Sum(dst)
 	suite.ReleaseHash(hash, h)
 	return dst
+}
+
+type sharedKey struct {
+	golden *mem.Golden
+	hash   suite.HashID
+}
+
+var sharedImages sync.Map // sharedKey -> *ImageCache
+
+// SharedImage returns the process-wide digest cache for a golden image
+// and hash, creating it on first use. Every copy-on-write device on the
+// same golden, and every verifier checking reports against it, shares
+// one cache — a 10k-device swarm round hashes each golden block about
+// once host-wide instead of once per device. Safe because Golden is
+// immutable and ImageCache is concurrency-safe. Entries live as long as
+// the process; the golden pointer keys the identity, so distinct trials
+// building distinct goldens do not collide.
+func SharedImage(g *mem.Golden, hash suite.HashID) *ImageCache {
+	k := sharedKey{golden: g, hash: hash}
+	if c, ok := sharedImages.Load(k); ok {
+		return c.(*ImageCache)
+	}
+	c := NewImage(g.Bytes(), g.BlockSize(), hash)
+	actual, _ := sharedImages.LoadOrStore(k, c)
+	return actual.(*ImageCache)
 }
 
 type zeroKey struct {

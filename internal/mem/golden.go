@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"saferatt/internal/sim"
+)
+
+// Golden is an immutable, shareable memory image: the common software
+// load a fleet of identical devices is provisioned from. Any number of
+// copy-on-write Memories (NewShared) read through one Golden
+// concurrently; a device pays private bytes only for blocks it mutates.
+//
+// Immutability is the whole contract — nothing may write g.data after
+// construction. NewGolden copies its input to make that easy to honor.
+type Golden struct {
+	data      []byte
+	blockSize int
+	nblocks   int
+	romBlocks int
+}
+
+// NewGolden builds a golden image from data (copied). It panics on a
+// malformed geometry, like New: image layouts are experiment code, not
+// input.
+func NewGolden(data []byte, blockSize, romBlocks int) *Golden {
+	if blockSize <= 0 {
+		panic("mem: Golden BlockSize must be positive")
+	}
+	if len(data) == 0 || len(data)%blockSize != 0 {
+		panic(fmt.Sprintf("mem: Golden image of %d bytes is not a positive multiple of block size %d", len(data), blockSize))
+	}
+	n := len(data) / blockSize
+	if romBlocks < 0 || romBlocks > n {
+		panic("mem: Golden ROMBlocks out of range")
+	}
+	return &Golden{
+		data:      append([]byte(nil), data...),
+		blockSize: blockSize,
+		nblocks:   n,
+		romBlocks: romBlocks,
+	}
+}
+
+// GoldenFromMemory seals a snapshot of m's current content as a golden
+// image with the same geometry. Typical fleet construction: build one
+// flat Memory, provision it (FillRandom, service install), seal it, and
+// hand the Golden to NewShared once per device.
+func GoldenFromMemory(m *Memory) *Golden {
+	g := &Golden{
+		data:      m.Snapshot(),
+		blockSize: m.blockSize,
+		nblocks:   m.nblocks,
+		romBlocks: m.romBlocks,
+	}
+	return g
+}
+
+// RandomGolden builds a golden image with deterministic pseudorandom
+// non-ROM content — the fleet-provisioning analogue of
+// (*Memory).FillRandom, drawing in the same order so a shared image
+// equals a per-device fill with the same seed.
+func RandomGolden(size, blockSize, romBlocks int, rng *rand.Rand) *Golden {
+	scratch := New(Config{Size: size, BlockSize: blockSize, ROMBlocks: romBlocks})
+	scratch.FillRandom(rng)
+	return &Golden{
+		data:      scratch.data, // scratch is discarded; safe to adopt
+		blockSize: blockSize,
+		nblocks:   scratch.nblocks,
+		romBlocks: romBlocks,
+	}
+}
+
+// Size returns the image's total byte size.
+func (g *Golden) Size() int { return len(g.data) }
+
+// BlockSize returns the block granularity in bytes.
+func (g *Golden) BlockSize() int { return g.blockSize }
+
+// NumBlocks returns the number of blocks.
+func (g *Golden) NumBlocks() int { return g.nblocks }
+
+// ROMBlocks returns the number of leading read-only ROM blocks.
+func (g *Golden) ROMBlocks() int { return g.romBlocks }
+
+// Block returns a read-only view of golden block i. Callers must not
+// mutate the returned slice.
+func (g *Golden) Block(i int) []byte {
+	if i < 0 || i >= g.nblocks {
+		panic(fmt.Sprintf("mem: golden block %d out of range [0,%d)", i, g.nblocks))
+	}
+	return g.data[i*g.blockSize : (i+1)*g.blockSize]
+}
+
+// Bytes returns a read-only view of the full image — the verifier-side
+// reference for every device sharing this golden. Callers must not
+// mutate it; copy first if a private image is needed.
+func (g *Golden) Bytes() []byte { return g.data }
+
+// SharedConfig parameterizes a copy-on-write Memory; geometry comes
+// from the Golden.
+type SharedConfig struct {
+	// Clock supplies timestamps for writes. If nil, all writes are
+	// stamped at time 0.
+	Clock func() sim.Time
+	// LogWrites / LogLimit mirror Config (see there).
+	LogWrites bool
+	LogLimit  int
+}
+
+// NewShared builds a copy-on-write Memory over g: reads serve golden
+// content until a block is first written, at which point (and only
+// then) the block gets a private copy. The bookkeeping arrays are lazy
+// too, so a clean device costs one struct — a 10k-device fleet
+// provisions in O(fleet) structs plus one shared image. Generation
+// counters start at zero and bump on every mutation, exactly as for a
+// flat Memory, so per-device digest caches keep their invalidation
+// contract.
+func NewShared(g *Golden, cfg SharedConfig) *Memory {
+	if g == nil {
+		panic("mem: NewShared with nil Golden")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() sim.Time { return 0 }
+	}
+	if cfg.LogLimit < 0 {
+		panic("mem: negative LogLimit")
+	}
+	return &Memory{
+		golden:    g,
+		size:      len(g.data),
+		blockSize: g.blockSize,
+		nblocks:   g.nblocks,
+		romBlocks: g.romBlocks,
+		logOn:     cfg.LogWrites,
+		logLimit:  cfg.LogLimit,
+		clock:     clock,
+	}
+}

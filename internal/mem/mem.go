@@ -14,6 +14,7 @@
 package mem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
@@ -59,14 +60,31 @@ type Write struct {
 
 // Memory is block-structured attestable memory with MPU-style per-block
 // write locks.
+//
+// A Memory has one of two backings. A flat Memory (New) owns a private
+// byte array. A shared Memory (NewShared) reads through an immutable
+// Golden image and materializes a private copy of a block only when the
+// block is first written — copy-on-write, so a fleet of devices
+// provisioned from one image costs O(dirty blocks) private bytes per
+// device instead of O(image). Lock, timestamp, fault and generation
+// semantics are identical in both modes.
+//
+// The per-block bookkeeping arrays (priv, locked, lastWrite, gen) are
+// allocated lazily on first use: a never-written, never-locked device —
+// the common case in a large healthy fleet — carries only this struct.
+// Nil arrays read as all-zero.
 type Memory struct {
-	data      []byte
+	data      []byte // flat backing; nil in copy-on-write mode
+	golden    *Golden
+	priv      [][]byte // COW mode: materialized per-block copies; lazy
+	dirty     int      // COW mode: number of materialized blocks
+	size      int
 	blockSize int
 	nblocks   int
-	locked    []bool
-	lastWrite []sim.Time
-	gen       []uint64 // per-block content generation (see Generation)
-	romBlocks int      // blocks [0, romBlocks) are ROM
+	locked    []bool     // lazy
+	lastWrite []sim.Time // lazy
+	gen       []uint64   // per-block content generation (see Generation); lazy
+	romBlocks int        // blocks [0, romBlocks) are ROM
 	log       []Write
 	logOn     bool
 	logLimit  int
@@ -75,6 +93,27 @@ type Memory struct {
 	faults    int
 	clock     func() sim.Time
 	guard     func(firstBlock, lastBlock int) error
+}
+
+func (m *Memory) ensureLocked() []bool {
+	if m.locked == nil {
+		m.locked = make([]bool, m.nblocks)
+	}
+	return m.locked
+}
+
+func (m *Memory) ensureLastWrite() []sim.Time {
+	if m.lastWrite == nil {
+		m.lastWrite = make([]sim.Time, m.nblocks)
+	}
+	return m.lastWrite
+}
+
+func (m *Memory) ensureGen() []uint64 {
+	if m.gen == nil {
+		m.gen = make([]uint64, m.nblocks)
+	}
+	return m.gen
 }
 
 // Config describes a Memory layout.
@@ -123,11 +162,9 @@ func New(cfg Config) *Memory {
 	}
 	return &Memory{
 		data:      make([]byte, cfg.Size),
+		size:      cfg.Size,
 		blockSize: cfg.BlockSize,
 		nblocks:   n,
-		locked:    make([]bool, n),
-		lastWrite: make([]sim.Time, n),
-		gen:       make([]uint64, n),
 		romBlocks: cfg.ROMBlocks,
 		logOn:     cfg.LogWrites,
 		logLimit:  cfg.LogLimit,
@@ -136,7 +173,7 @@ func New(cfg Config) *Memory {
 }
 
 // Size returns the total byte size.
-func (m *Memory) Size() int { return len(m.data) }
+func (m *Memory) Size() int { return m.size }
 
 // BlockSize returns the block granularity in bytes.
 func (m *Memory) BlockSize() int { return m.blockSize }
@@ -155,16 +192,39 @@ func (m *Memory) BlockOf(off int) int { return off / m.blockSize }
 // timestamps are honored.
 func (m *Memory) Block(i int) []byte {
 	m.checkBlock(i)
-	return m.data[i*m.blockSize : (i+1)*m.blockSize]
+	return m.blockRead(i)
+}
+
+// blockRead returns block i's current content without bounds checking:
+// the private array in flat mode, the materialized copy or the golden
+// block in copy-on-write mode.
+func (m *Memory) blockRead(i int) []byte {
+	if m.data != nil {
+		return m.data[i*m.blockSize : (i+1)*m.blockSize]
+	}
+	if m.priv != nil {
+		if p := m.priv[i]; p != nil {
+			return p
+		}
+	}
+	return m.golden.Block(i)
 }
 
 // Read copies len(dst) bytes starting at off into dst. Reads are never
 // blocked by locks (locks are read-only locks).
 func (m *Memory) Read(off int, dst []byte) error {
-	if off < 0 || off+len(dst) > len(m.data) {
-		return &BoundsError{Off: off, Len: len(dst), Size: len(m.data)}
+	if off < 0 || off+len(dst) > m.size {
+		return &BoundsError{Off: off, Len: len(dst), Size: m.size}
 	}
-	copy(dst, m.data[off:])
+	if m.data != nil {
+		copy(dst, m.data[off:])
+		return nil
+	}
+	for n := 0; n < len(dst); {
+		b := (off + n) / m.blockSize
+		in := (off + n) % m.blockSize
+		n += copy(dst[n:], m.blockRead(b)[in:])
+	}
 	return nil
 }
 
@@ -173,8 +233,8 @@ func (m *Memory) Read(off int, dst []byte) error {
 // modifies nothing (writes are checked before any byte is stored) and
 // increments the fault counter.
 func (m *Memory) Write(off int, p []byte) error {
-	if off < 0 || off+len(p) > len(m.data) {
-		return &BoundsError{Off: off, Len: len(p), Size: len(m.data)}
+	if off < 0 || off+len(p) > m.size {
+		return &BoundsError{Off: off, Len: len(p), Size: m.size}
 	}
 	if len(p) == 0 {
 		return nil
@@ -191,16 +251,17 @@ func (m *Memory) Write(off int, p []byte) error {
 			m.faults++
 			return &ROMError{Off: off}
 		}
-		if m.locked[b] {
+		if m.locked != nil && m.locked[b] {
 			m.faults++
 			return &LockError{Block: b, Off: off}
 		}
 	}
-	copy(m.data[off:], p)
+	m.store(off, p)
 	now := m.clock()
+	lw, gen := m.ensureLastWrite(), m.ensureGen()
 	for b := first; b <= last; b++ {
-		m.lastWrite[b] = now
-		m.gen[b]++
+		lw[b] = now
+		gen[b]++
 	}
 	if m.logOn {
 		m.logAppend(Write{At: now, Block: first, Off: off, Len: len(p)})
@@ -219,6 +280,37 @@ func (m *Memory) logAppend(w Write) {
 	m.log[m.logHead] = w
 	m.logHead = (m.logHead + 1) % m.logLimit
 	m.dropped++
+}
+
+// store writes p at off, bypassing locks and bookkeeping (callers have
+// already checked bounds and permissions). In copy-on-write mode every
+// touched block is materialized first.
+func (m *Memory) store(off int, p []byte) {
+	if m.data != nil {
+		copy(m.data[off:], p)
+		return
+	}
+	for n := 0; n < len(p); {
+		b := (off + n) / m.blockSize
+		in := (off + n) % m.blockSize
+		n += copy(m.materialize(b)[in:], p[n:])
+	}
+}
+
+// materialize gives block b a private copy of its golden content and
+// returns it; a no-op for already-private blocks.
+func (m *Memory) materialize(b int) []byte {
+	if m.priv == nil {
+		m.priv = make([][]byte, m.nblocks)
+	}
+	if p := m.priv[b]; p != nil {
+		return p
+	}
+	p := make([]byte, m.blockSize)
+	copy(p, m.golden.Block(b))
+	m.priv[b] = p
+	m.dirty++
+	return p
 }
 
 // WriteBlock overwrites block i with p (which must be exactly one block
@@ -240,20 +332,23 @@ func (m *Memory) Poke(off int, v byte) error {
 // is a no-op.
 func (m *Memory) Lock(i int) {
 	m.checkBlock(i)
-	m.locked[i] = true
+	m.ensureLocked()[i] = true
 }
 
 // Unlock releases the lock on block i. ROM blocks stay read-only
 // regardless.
 func (m *Memory) Unlock(i int) {
 	m.checkBlock(i)
-	m.locked[i] = false
+	if m.locked != nil {
+		m.locked[i] = false
+	}
 }
 
 // LockAll locks every block.
 func (m *Memory) LockAll() {
-	for i := range m.locked {
-		m.locked[i] = true
+	locked := m.ensureLocked()
+	for i := range locked {
+		locked[i] = true
 	}
 }
 
@@ -267,13 +362,16 @@ func (m *Memory) UnlockAll() {
 // Locked reports whether block i is locked (ROM blocks report true).
 func (m *Memory) Locked(i int) bool {
 	m.checkBlock(i)
-	return i < m.romBlocks || m.locked[i]
+	return i < m.romBlocks || (m.locked != nil && m.locked[i])
 }
 
 // LockedCount returns the number of blocks currently write-protected,
 // including ROM.
 func (m *Memory) LockedCount() int {
 	n := m.romBlocks
+	if m.locked == nil {
+		return n
+	}
 	for i := m.romBlocks; i < m.nblocks; i++ {
 		if m.locked[i] {
 			n++
@@ -289,6 +387,9 @@ func (m *Memory) Writable(i int) bool { return !m.Locked(i) }
 // touching block i (zero if never written).
 func (m *Memory) LastWrite(i int) sim.Time {
 	m.checkBlock(i)
+	if m.lastWrite == nil {
+		return 0
+	}
 	return m.lastWrite[i]
 }
 
@@ -327,29 +428,65 @@ func (m *Memory) DroppedWrites() int { return m.dropped }
 // or a stale cached digest could mask malware.
 func (m *Memory) Generation(i int) uint64 {
 	m.checkBlock(i)
+	if m.gen == nil {
+		return 0
+	}
 	return m.gen[i]
 }
 
 // Snapshot returns a copy of the full memory contents.
-func (m *Memory) Snapshot() []byte {
-	s := make([]byte, len(m.data))
-	copy(s, m.data)
-	return s
+func (m *Memory) Snapshot() []byte { return m.SnapshotInto(nil) }
+
+// SnapshotInto copies the full memory contents into dst's capacity and
+// returns the (resized) slice, allocating only when dst is too small.
+// Hot callers that snapshot per round hand back the previous round's
+// buffer; Snapshot is SnapshotInto(nil).
+func (m *Memory) SnapshotInto(dst []byte) []byte {
+	if cap(dst) >= m.size {
+		dst = dst[:m.size]
+	} else {
+		dst = make([]byte, m.size)
+	}
+	if m.data != nil {
+		copy(dst, m.data)
+		return dst
+	}
+	for b := 0; b < m.nblocks; b++ {
+		copy(dst[b*m.blockSize:], m.blockRead(b))
+	}
+	return dst
 }
 
 // Restore overwrites memory contents from a snapshot, bypassing locks.
 // It models out-of-band re-provisioning by the verifier (paper §1:
 // "software can be re-set or rolled back") and is not reachable from
-// simulated software.
+// simulated software. In copy-on-write mode a block restored to its
+// golden content is dematerialized: re-provisioning a device back to
+// the fleet image returns it to O(0) private bytes.
 func (m *Memory) Restore(s []byte) {
-	if len(s) != len(m.data) {
-		panic(fmt.Sprintf("mem: Restore: snapshot %d bytes, memory %d", len(s), len(m.data)))
+	if len(s) != m.size {
+		panic(fmt.Sprintf("mem: Restore: snapshot %d bytes, memory %d", len(s), m.size))
 	}
-	copy(m.data, s)
+	if m.data != nil {
+		copy(m.data, s)
+	} else {
+		for b := 0; b < m.nblocks; b++ {
+			want := s[b*m.blockSize : (b+1)*m.blockSize]
+			if bytes.Equal(want, m.golden.Block(b)) {
+				if m.priv != nil && m.priv[b] != nil {
+					m.priv[b] = nil
+					m.dirty--
+				}
+				continue
+			}
+			copy(m.materialize(b), want)
+		}
+	}
 	// Every block's content may have changed: bump all generations so
 	// cached digests of the pre-restore content are invalidated.
-	for b := range m.gen {
-		m.gen[b]++
+	gen := m.ensureGen()
+	for b := range gen {
+		gen[b]++
 	}
 }
 
@@ -360,14 +497,31 @@ func (m *Memory) Restore(s []byte) {
 func (m *Memory) FillRandom(rng *rand.Rand) {
 	start := m.romBlocks * m.blockSize
 	i := start
-	for ; i+8 <= len(m.data); i += 8 {
-		binary.LittleEndian.PutUint64(m.data[i:], rng.Uint64())
+	if m.data != nil {
+		for ; i+8 <= m.size; i += 8 {
+			binary.LittleEndian.PutUint64(m.data[i:], rng.Uint64())
+		}
+		for ; i < m.size; i++ {
+			m.data[i] = byte(rng.Uint32())
+		}
+	} else {
+		// COW mode: materialize and fill, drawing in exactly the flat
+		// order so content is backing-independent for a given seed.
+		// (Provision the golden image instead where possible — filling
+		// defeats sharing.)
+		var w [8]byte
+		for ; i+8 <= m.size; i += 8 {
+			binary.LittleEndian.PutUint64(w[:], rng.Uint64())
+			m.store(i, w[:])
+		}
+		for ; i < m.size; i++ {
+			w[0] = byte(rng.Uint32())
+			m.store(i, w[:1])
+		}
 	}
-	for ; i < len(m.data); i++ {
-		m.data[i] = byte(rng.Uint32())
-	}
+	gen := m.ensureGen()
 	for b := m.romBlocks; b < m.nblocks; b++ {
-		m.gen[b]++
+		gen[b]++
 	}
 }
 
@@ -378,9 +532,50 @@ func (m *Memory) FillRandom(rng *rand.Rand) {
 // returned error surfaces to the writer.
 func (m *Memory) SetGuard(g func(firstBlock, lastBlock int) error) { m.guard = g }
 
-// peek returns the raw backing store; used by attestation ROM code
-// (hashing reads) without copying.
-func (m *Memory) Raw() []byte { return m.data }
+// Raw returns the raw flat backing store; used by attestation ROM code
+// (hashing reads) without copying. A copy-on-write Memory is flattened
+// first: the full image is materialized into a private array and the
+// golden link severed, so sharing is lost — swarm-scale paths read
+// through Block instead.
+func (m *Memory) Raw() []byte {
+	if m.data == nil {
+		m.flatten()
+	}
+	return m.data
+}
+
+// flatten converts a copy-on-write Memory to a flat one with identical
+// content, locks, timestamps and generations.
+func (m *Memory) flatten() {
+	flat := make([]byte, m.size)
+	for b := 0; b < m.nblocks; b++ {
+		copy(flat[b*m.blockSize:], m.blockRead(b))
+	}
+	m.data = flat
+	m.golden = nil
+	m.priv = nil
+	m.dirty = 0
+}
+
+// DirtyBlocks returns the number of blocks holding private
+// (materialized) copies — the per-device memory cost of a copy-on-write
+// Memory beyond its shared golden image. Flat memories report 0.
+func (m *Memory) DirtyBlocks() int { return m.dirty }
+
+// SharedGolden returns the golden image a copy-on-write Memory reads
+// through, or nil for a flat Memory. Verifier-side code uses it to
+// intern one golden reference (and one digest cache) per fleet instead
+// of one per device.
+func (m *Memory) SharedGolden() *Golden { return m.golden }
+
+// BlockClean reports whether block i is still read through the shared
+// golden image — i.e. its content is bit-identical to the golden block.
+// Always false for flat memories. Digest caches use it to serve clean
+// blocks from a fleet-wide golden cache.
+func (m *Memory) BlockClean(i int) bool {
+	m.checkBlock(i)
+	return m.golden != nil && (m.priv == nil || m.priv[i] == nil)
+}
 
 func (m *Memory) checkBlock(i int) {
 	if i < 0 || i >= m.nblocks {

@@ -171,6 +171,19 @@ func (k *Kernel) Run() {
 	}
 }
 
+// RunLimited dispatches at most maxSteps events and reports whether the
+// queue drained. It is the watchdog form of Run for driving untrusted
+// or long event cascades (a swarm shard runs thousands of device
+// kernels; one runaway reschedule loop must not hang the whole sweep).
+func (k *Kernel) RunLimited(maxSteps uint64) bool {
+	for i := uint64(0); i < maxSteps; i++ {
+		if !k.Step() {
+			return true
+		}
+	}
+	return len(k.queue) == 0
+}
+
 // RunUntil dispatches events with timestamps <= t, then advances the
 // clock to exactly t (even if no event fired there).
 func (k *Kernel) RunUntil(t Time) {

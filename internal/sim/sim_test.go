@@ -153,6 +153,42 @@ func TestRunUntilDoesNotOvershoot(t *testing.T) {
 	}
 }
 
+func TestRunLimitedStopsRunawayCascade(t *testing.T) {
+	k := NewKernel()
+	var reschedule func()
+	reschedule = func() { k.Schedule(Millisecond, reschedule) }
+	k.Schedule(0, reschedule)
+	if k.RunLimited(100) {
+		t.Fatal("runaway cascade reported as drained")
+	}
+	if k.Steps() != 100 {
+		t.Fatalf("dispatched %d steps, want exactly 100", k.Steps())
+	}
+	if k.Len() == 0 {
+		t.Fatal("queue should still hold the pending reschedule")
+	}
+}
+
+func TestRunLimitedDrainsFiniteQueue(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := 0; i < 5; i++ {
+		k.Schedule(Duration(i)*Second, func() { fired++ })
+	}
+	if !k.RunLimited(1000) {
+		t.Fatal("finite queue not reported drained")
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d, want 5", fired)
+	}
+	// Exactly-at-limit drain counts as drained.
+	k2 := NewKernel()
+	k2.Schedule(0, func() {})
+	if !k2.RunLimited(1) {
+		t.Fatal("exact-limit drain not reported drained")
+	}
+}
+
 func TestRunForIsRelative(t *testing.T) {
 	k := NewKernel()
 	k.RunFor(3 * Second)

@@ -3,11 +3,15 @@ package swarm
 import (
 	"bytes"
 	"io"
+	"sort"
 
 	"saferatt/internal/core"
+	"saferatt/internal/device"
 	"saferatt/internal/inccache"
+	"saferatt/internal/mem"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
+	"saferatt/internal/verifier"
 )
 
 // NodeVerdict is the collector's decision about one swarm member.
@@ -56,7 +60,14 @@ func (r *SwarmResult) Infected() []string {
 // Collector is the verifier side of collective attestation: it holds
 // each node's golden image and shared key and judges aggregates.
 type Collector struct {
-	hash    suite.HashID
+	hash suite.HashID
+	// Batched enables whole-round amortized verification: reports
+	// sharing a (key, nonce, round, order, path) group are checked
+	// against one precomputed expected tag (verifier.Batch). Defaults to
+	// true; experiments flip it off to measure the naive per-report
+	// baseline. Region- or data-carrying reports always take the
+	// per-report path regardless.
+	Batched bool
 	keys    map[string][]byte
 	refs    map[string][]byte
 	geoms   map[string][2]int // blockSize, numBlocks
@@ -68,26 +79,72 @@ type Collector struct {
 	// image, for judging incremental reports: digests are computed once
 	// per node, not once per swarm round.
 	goldens map[string]*inccache.ImageCache
+	// batches maps node name -> batch verifier; nodes on the same
+	// shared golden image are interned onto one Batch (byGolden), so a
+	// fleet's expected tag is computed once per round, not per node.
+	batches  map[string]*verifier.Batch
+	byGolden map[*mem.Golden]*verifier.Batch
+	// ownRef marks refs entries backed by a collector-private buffer
+	// (safe to reuse for the next snapshot) as opposed to aliasing a
+	// shared golden image (must never be written).
+	ownRef map[string]bool
 }
 
 // NewCollector builds an empty collector for the given measurement
 // hash.
 func NewCollector(hash suite.HashID) *Collector {
 	return &Collector{
-		hash:  hash,
-		keys:  map[string][]byte{},
-		refs:  map[string][]byte{},
-		geoms: map[string][2]int{},
+		hash:     hash,
+		Batched:  true,
+		keys:     map[string][]byte{},
+		refs:     map[string][]byte{},
+		geoms:    map[string][2]int{},
+		batches:  map[string]*verifier.Batch{},
+		byGolden: map[*mem.Golden]*verifier.Batch{},
+		ownRef:   map[string]bool{},
 	}
 }
 
 // Register records a node's shared key and golden image. Call once per
 // swarm member before judging aggregates.
-func (c *Collector) Register(n *Node) {
-	c.keys[n.Name] = n.Dev.AttestationKey
-	c.refs[n.Name] = n.Dev.Mem.Snapshot()
-	c.geoms[n.Name] = [2]int{n.Dev.Mem.BlockSize(), n.Dev.Mem.NumBlocks()}
-	c.shuffle = n.Opts.Shuffled
+func (c *Collector) Register(n *Node) { c.RegisterDevice(n.Name, n.Dev, n.Opts) }
+
+// RegisterDevice is Register for devices driven outside the tree
+// protocol (the sharded engine). A device whose memory is a clean
+// copy-on-write view of a shared golden (mem.NewShared) costs no image
+// copy: the collector references the golden bytes directly and shares
+// one batch verifier across all such devices.
+func (c *Collector) RegisterDevice(name string, dev *device.Device, opts core.Options) {
+	m := dev.Mem
+	c.keys[name] = dev.AttestationKey
+	c.geoms[name] = [2]int{m.BlockSize(), m.NumBlocks()}
+	c.shuffle = opts.Shuffled
+	if g := m.SharedGolden(); g != nil && m.DirtyBlocks() == 0 {
+		c.refs[name] = g.Bytes()
+		delete(c.ownRef, name) // absent = not collector-owned
+		b := c.byGolden[g]
+		if b == nil {
+			b = verifier.NewBatchGolden(c.hash, g)
+			c.byGolden[g] = b
+		}
+		c.batches[name] = b
+		if c.goldens == nil {
+			c.goldens = map[string]*inccache.ImageCache{}
+		}
+		c.goldens[name] = inccache.SharedImage(g, inccache.DigestHash(c.hash))
+		return
+	}
+	// Divergent or flat image: private snapshot, reusing the previous
+	// registration's buffer when re-registering (never a buffer that
+	// aliases a shared golden).
+	var dst []byte
+	if c.ownRef[name] {
+		dst = c.refs[name][:0]
+	}
+	c.refs[name] = m.SnapshotInto(dst)
+	c.ownRef[name] = true
+	c.batches[name] = verifier.NewBatch(c.hash, c.refs[name], m.BlockSize())
+	delete(c.goldens, name)
 }
 
 // Judge validates an aggregate received at time now against all
@@ -112,7 +169,28 @@ func (c *Collector) Judge(agg *Aggregate, nonce []byte, now sim.Time) *SwarmResu
 		}
 		res.Verdicts[name] = c.judgeNode(name, reports, nonce)
 	}
+	// Map iteration above is order-randomized; a deterministic Missing
+	// list keeps collector output bit-identical across runs and shard
+	// counts.
+	sort.Strings(res.Missing)
 	return res
+}
+
+// BatchStats sums amortization counters across the collector's batch
+// verifiers (interned batches are counted once).
+func (c *Collector) BatchStats() verifier.BatchStats {
+	seen := map[*verifier.Batch]bool{}
+	var out verifier.BatchStats
+	for _, b := range c.batches {
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		s := b.Stats()
+		out.Reports += s.Reports
+		out.Computed += s.Computed
+	}
+	return out
 }
 
 func (c *Collector) judgeNode(name string, reports []*core.Report, nonce []byte) NodeVerdict {
@@ -129,6 +207,22 @@ func (c *Collector) judgeNode(name string, reports []*core.Report, nonce []byte)
 		if nonce != nil && !bytes.Equal(rep.Nonce, nonce) {
 			v.Reason = "wrong nonce"
 			return v
+		}
+		// Batched fast path: amortize the expected tag across all
+		// reports in this round's (key, round, order) group. Region- or
+		// data-carrying reports vary per device and fall through to the
+		// per-report path.
+		if b := c.batches[name]; b != nil && c.Batched && rep.RegionCount == 0 && rep.Data == nil {
+			ok, err := b.Verify(key, rep, c.shuffle)
+			if err != nil {
+				v.Reason = "verification error: " + err.Error()
+				return v
+			}
+			if !ok {
+				v.Reason = "tag mismatch"
+				return v
+			}
+			continue
 		}
 		// Stream the expected measurement straight into pooled hash
 		// state; a swarm round judges every member, so the image-sized

@@ -25,7 +25,7 @@ func (n *Node) relayHandleReq(nonce []byte) {
 	if string(nonce) == string(n.lastRelayNonce) {
 		return // duplicate flood
 	}
-	n.lastRelayNonce = append([]byte(nil), nonce...)
+	n.lastRelayNonce = append(n.lastRelayNonce[:0], nonce...)
 
 	for _, c := range n.Children {
 		n.Link.Send(n.Name, c, MsgSwarmReq, nonce)

@@ -72,15 +72,20 @@ type Node struct {
 	// (default, LISA-s-like) or immediate relay (LISA-α-like).
 	Mode NodeMode
 
-	task           *device.Task
-	collected      *Aggregate
+	task      *device.Task
+	collected *Aggregate
+	// aggScratch is the node's Aggregate reused across rounds (struct,
+	// report map and duplicate list); swarm-scale sweeps run thousands
+	// of rounds and the per-round map churn dominated node allocations.
+	aggScratch     *Aggregate
 	waiting        int
 	curNonce       []byte
 	timeoutEv      *sim.Event
 	counter        uint64
 	lastRelayNonce []byte
 	// OnComplete fires on the root when the full aggregate is ready to
-	// ship to the collector (ModeAggregate).
+	// ship to the collector (ModeAggregate). The Aggregate is reused:
+	// it is valid until this node starts its next round.
 	OnComplete func(*Aggregate)
 	// OnPartial fires on the root for every per-node bundle that
 	// arrives (ModeRelay).
@@ -140,7 +145,13 @@ func (n *Node) handleReq(nonce []byte) {
 		return // already participating in a round
 	}
 	n.curNonce = nonce
-	n.collected = &Aggregate{Reports: map[string][]*core.Report{}}
+	if n.aggScratch == nil {
+		n.aggScratch = &Aggregate{Reports: map[string][]*core.Report{}}
+	}
+	clear(n.aggScratch.Reports)
+	n.aggScratch.Hops = 0
+	n.aggScratch.Duplicates = n.aggScratch.Duplicates[:0]
+	n.collected = n.aggScratch
 	n.waiting = len(n.Children)
 
 	// Flood downwards first so the subtree measures in parallel.

@@ -1,0 +1,135 @@
+package verifier
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"fmt"
+
+	"saferatt/internal/core"
+	"saferatt/internal/inccache"
+	"saferatt/internal/mem"
+	"saferatt/internal/suite"
+)
+
+// Batch amortizes verification across the reports of one collection
+// round. The expected measurement over a golden image is a pure
+// function of (attestation key, nonce, round, traversal order, data
+// path): in a fleet of identical devices every clean report in a round
+// carries the SAME expected tag, so the verifier can compute it once
+// per group and reduce each report to a constant-time tag comparison —
+// O(image) work per round instead of per device.
+//
+// Batch is MAC-mode only (shared symmetric key, the paper's low-end
+// device setting). Reports with a restricted region or reported data
+// blocks vary per device and are not batchable; callers route them to
+// the ordinary per-report path (see swarm.Collector.Judge).
+//
+// Expected tags are cached per nonce epoch: a nonce different from the
+// previous report's clears the cache, so memory stays bounded by the
+// number of (key, round, mode) groups inside one round.
+type Batch struct {
+	hash      suite.HashID
+	ref       []byte
+	blockSize int
+	nblocks   int
+	golden    *inccache.ImageCache // lazily built for incremental reports
+	epoch     []byte               // nonce the cached groups belong to
+	expected  map[groupKey][]byte  // group -> expected tag
+	order     []int                // traversal-order scratch
+	stats     BatchStats
+}
+
+type groupKey struct {
+	key         string // attestation key (fleet devices usually share one)
+	round       int
+	shuffled    bool
+	incremental bool
+}
+
+// BatchStats counts amortization effectiveness.
+type BatchStats struct {
+	Reports  uint64 // reports verified through the batch
+	Computed uint64 // expected tags actually computed (one per group)
+}
+
+// NewBatch builds a batch verifier over a golden reference image. The
+// caller must not mutate ref afterwards.
+func NewBatch(hash suite.HashID, ref []byte, blockSize int) *Batch {
+	if blockSize <= 0 || len(ref) == 0 || len(ref)%blockSize != 0 {
+		panic(fmt.Sprintf("verifier: batch image of %d bytes is not a positive multiple of block size %d", len(ref), blockSize))
+	}
+	return &Batch{
+		hash:      hash,
+		ref:       ref,
+		blockSize: blockSize,
+		nblocks:   len(ref) / blockSize,
+		expected:  map[groupKey][]byte{},
+	}
+}
+
+// NewBatchGolden builds a batch verifier over a shared golden image,
+// wiring the incremental path to the process-wide golden digest cache —
+// verifier and devices then share one set of per-block digests.
+func NewBatchGolden(hash suite.HashID, g *mem.Golden) *Batch {
+	b := NewBatch(hash, g.Bytes(), g.BlockSize())
+	b.golden = inccache.SharedImage(g, inccache.DigestHash(hash))
+	return b
+}
+
+// Verify checks one report against the golden image under the given
+// attestation key (used both to derive the traversal order and as the
+// MAC key, mirroring the prover). Reports in the same group after the
+// first cost one MAC comparison and no hashing.
+func (b *Batch) Verify(key []byte, r *core.Report, shuffled bool) (bool, error) {
+	if r.BlockSize != b.blockSize || r.NumBlocks != b.nblocks {
+		return false, fmt.Errorf("verifier: geometry mismatch: report %dx%d vs batch %dx%d",
+			r.NumBlocks, r.BlockSize, b.nblocks, b.blockSize)
+	}
+	if r.RegionCount > 0 || r.Data != nil {
+		return false, fmt.Errorf("verifier: region/data reports are not batchable")
+	}
+	if !bytes.Equal(r.Nonce, b.epoch) {
+		clear(b.expected)
+		b.epoch = append(b.epoch[:0], r.Nonce...)
+	}
+	k := groupKey{key: string(key), round: r.Round, shuffled: shuffled, incremental: r.Incremental}
+	exp, ok := b.expected[k]
+	if !ok {
+		var err error
+		exp, err = b.compute(key, r, shuffled)
+		if err != nil {
+			return false, err
+		}
+		b.expected[k] = exp
+		b.stats.Computed++
+	}
+	b.stats.Reports++
+	return hmac.Equal(exp, r.Tag), nil
+}
+
+// compute produces the expected tag for a group, streaming golden
+// content (or cached golden digests, on the incremental path) through
+// pooled MAC state.
+func (b *Batch) compute(key []byte, r *core.Report, shuffled bool) ([]byte, error) {
+	scheme := suite.Scheme{Hash: b.hash, Key: key}
+	b.order = core.AppendOrderRegion(b.order[:0], key, r.Nonce, r.Round, 0, b.nblocks, shuffled)
+	t, err := scheme.AcquireTagger()
+	if err != nil {
+		return nil, err
+	}
+	defer scheme.ReleaseTagger(t)
+	if r.Incremental {
+		if b.golden == nil {
+			b.golden = inccache.NewImage(b.ref, b.blockSize, inccache.DigestHash(b.hash))
+		}
+		if err := core.ExpectedDigestStream(t, b.golden.DigestOK, r.Nonce, r.Round, b.order); err != nil {
+			return nil, err
+		}
+	} else {
+		core.ExpectedStream(t, b.ref, b.blockSize, r.Nonce, r.Round, b.order)
+	}
+	return t.Tag()
+}
+
+// Stats returns a snapshot of amortization counters.
+func (b *Batch) Stats() BatchStats { return b.stats }

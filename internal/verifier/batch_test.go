@@ -1,0 +1,171 @@
+package verifier
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"saferatt/internal/core"
+	"saferatt/internal/costmodel"
+	"saferatt/internal/device"
+	"saferatt/internal/mem"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+)
+
+// measureOnce runs one real measurement round on a fresh device over m
+// and returns its report.
+func measureOnce(t *testing.T, m *mem.Memory, opts core.Options, nonce []byte, round int) (*core.Report, []byte) {
+	t.Helper()
+	k := sim.NewKernel()
+	dev := device.New(device.Config{Kernel: k, Mem: m, Profile: costmodel.ODROIDXU4()})
+	task := dev.NewTask("mp", 1)
+	meas, err := core.NewMeasurement(dev, task, opts, nonce, round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *core.Report
+	meas.Start(func(r *core.Report, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep = r
+	})
+	k.Run()
+	if rep == nil {
+		t.Fatal("measurement produced no report")
+	}
+	return rep, dev.AttestationKey
+}
+
+func batchWorld(t *testing.T) (*mem.Golden, core.Options) {
+	t.Helper()
+	g := mem.RandomGolden(4096, 256, 1, rand.New(rand.NewPCG(8, 8)))
+	return g, core.Preset(core.NoLock, suite.SHA256)
+}
+
+func TestBatchAmortizesCleanFleet(t *testing.T) {
+	g, opts := batchWorld(t)
+	b := NewBatchGolden(suite.SHA256, g)
+	nonce := []byte("round-nonce")
+	var key []byte
+	for i := 0; i < 4; i++ {
+		m := mem.NewShared(g, mem.SharedConfig{})
+		var rep *core.Report
+		rep, key = measureOnce(t, m, opts, nonce, 0)
+		ok, err := b.Verify(key, rep, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("clean device %d rejected", i)
+		}
+	}
+	s := b.Stats()
+	if s.Reports != 4 {
+		t.Fatalf("Reports = %d, want 4", s.Reports)
+	}
+	// All four devices share (key, nonce, round, order): one expected
+	// tag computation for the whole fleet.
+	if s.Computed != 1 {
+		t.Fatalf("Computed = %d, want 1", s.Computed)
+	}
+}
+
+func TestBatchDetectsInfectedDevice(t *testing.T) {
+	g, opts := batchWorld(t)
+	b := NewBatchGolden(suite.SHA256, g)
+	nonce := []byte("round-nonce")
+
+	clean := mem.NewShared(g, mem.SharedConfig{})
+	repClean, key := measureOnce(t, clean, opts, nonce, 0)
+
+	infected := mem.NewShared(g, mem.SharedConfig{})
+	if err := infected.Poke(3*256+7, 0x66); err != nil {
+		t.Fatal(err)
+	}
+	repBad, _ := measureOnce(t, infected, opts, nonce, 0)
+
+	if ok, err := b.Verify(key, repClean, false); err != nil || !ok {
+		t.Fatalf("clean rejected: ok=%v err=%v", ok, err)
+	}
+	if ok, err := b.Verify(key, repBad, false); err != nil || ok {
+		t.Fatalf("infected accepted: ok=%v err=%v", ok, err)
+	}
+	// The infected report costs only a tag comparison — same group.
+	if s := b.Stats(); s.Computed != 1 || s.Reports != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestBatchMatchesVerifier pins that batched verification decides
+// exactly like the per-report CheckTag path, on both data paths.
+func TestBatchMatchesVerifier(t *testing.T) {
+	g, base := batchWorld(t)
+	for _, path := range []core.PathMode{core.PathIncremental, core.PathStreaming} {
+		opts := base
+		opts.Path = path
+		b := NewBatchGolden(suite.SHA256, g)
+		nonce := []byte("pin-nonce")
+
+		mems := []*mem.Memory{mem.NewShared(g, mem.SharedConfig{}), mem.NewShared(g, mem.SharedConfig{})}
+		if err := mems[1].Poke(2*256+9, 0xAA); err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range mems {
+			rep, key := measureOnce(t, m, opts, nonce, 0)
+			single := &Verifier{Scheme: suite.Scheme{Hash: suite.SHA256, Key: key},
+				PermKey: key, Ref: g.Bytes(), Opts: opts}
+			wantOK, err := single.CheckTag(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOK, err := b.Verify(key, rep, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK != wantOK {
+				t.Fatalf("path %v device %d: batch=%v, per-report=%v", path, i, gotOK, wantOK)
+			}
+			if wantOK != (i == 0) {
+				t.Fatalf("path %v device %d: unexpected baseline verdict %v", path, i, wantOK)
+			}
+		}
+	}
+}
+
+func TestBatchNonceEpochEviction(t *testing.T) {
+	g, opts := batchWorld(t)
+	b := NewBatchGolden(suite.SHA256, g)
+	m := mem.NewShared(g, mem.SharedConfig{})
+	rep1, key := measureOnce(t, m, opts, []byte("epoch-1"), 0)
+	rep2, _ := measureOnce(t, m, opts, []byte("epoch-2"), 0)
+	rep3, _ := measureOnce(t, m, opts, []byte("epoch-1"), 0)
+	for i, rep := range []*core.Report{rep1, rep2, rep3} {
+		if ok, err := b.Verify(key, rep, false); err != nil || !ok {
+			t.Fatalf("report %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Each nonce change clears the cache, so every report recomputed.
+	if s := b.Stats(); s.Computed != 3 {
+		t.Fatalf("Computed = %d, want 3 (epoch eviction)", s.Computed)
+	}
+}
+
+func TestBatchRejectsUnbatchable(t *testing.T) {
+	g, opts := batchWorld(t)
+	b := NewBatchGolden(suite.SHA256, g)
+	m := mem.NewShared(g, mem.SharedConfig{})
+	rep, key := measureOnce(t, m, opts, []byte("n"), 0)
+
+	bad := *rep
+	bad.RegionCount = 4
+	if _, err := b.Verify(key, &bad, false); err == nil {
+		t.Fatal("region report accepted by batch")
+	}
+	bad = *rep
+	bad.BlockSize = 128
+	bad.NumBlocks = 32
+	if _, err := b.Verify(key, &bad, false); err == nil {
+		t.Fatal("geometry mismatch accepted by batch")
+	}
+}

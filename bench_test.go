@@ -497,3 +497,38 @@ func byteLabel(n int) string {
 		return fmt.Sprintf("%dB", n)
 	}
 }
+
+// BenchmarkSched_SelfFleet runs the E12 fleet end to end — 10k devices
+// self-measuring on one-kernel-per-shard schedulers — once per backend.
+// The ev/sec metric is the end-to-end counterpart of internal/sim's
+// BenchmarkSched_FleetTimers: here hashing and verification dilute the
+// queue's share of the profile, so the wheel's edge is smaller than the
+// pure-timer ratio recorded in BENCH_sched.json. -short trims the
+// fleet/horizon (CI bench-smoke runs -short at -benchtime=1x).
+func BenchmarkSched_SelfFleet(b *testing.B) {
+	devices, horizon := 10_000, 2*sim.Hour
+	if testing.Short() {
+		devices, horizon = 1000, sim.Hour
+	}
+	for _, backend := range []sim.Backend{sim.Heap, sim.Wheel} {
+		b.Run(fmt.Sprintf("N%d/%s", devices, backend), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := swarm.RunSelfFleet(swarm.SelfFleetConfig{
+					Devices: devices, Mode: swarm.SelfErasmus,
+					TM: 2 * sim.Minute, TC: 30 * sim.Minute, Horizon: horizon,
+					Seed: 42, KernelBackend: backend,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Measurements == 0 {
+					b.Fatal("fleet did not measure")
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "ev/sec")
+		})
+	}
+}

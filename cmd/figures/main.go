@@ -6,11 +6,13 @@
 //	figures -all                 # everything (a few minutes)
 //	figures -fig 2               # one figure (1,2,4,5)
 //	figures -table 1             # Table 1
-//	figures -exp e5|e6|e8        # section experiments
+//	figures -exp e5|e6|e8|e9|e10 # section experiments
 //	figures -exp e11             # swarm-at-scale experiment (100/1k/10k devices)
-//	figures -ablation a1..a4     # ablations
+//	figures -exp e12             # long-horizon self-measurement fleet (QoA sweep)
+//	figures -ablation a1..a5     # ablations
 //	figures -quick               # reduced trial counts
 //	figures -parallel 4          # trial worker count (results identical)
+//	figures -sched heap|wheel    # event-queue backend (results identical)
 //	figures -incremental=false   # streaming measurement path (results identical)
 //	figures -cpuprofile cpu.out  # write a pprof CPU profile
 //	figures -memprofile mem.out  # write a pprof heap profile at exit
@@ -36,7 +38,7 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "regenerate figure N (1, 2, 4, 5)")
 		table    = flag.Int("table", 0, "regenerate table N (1)")
-		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10, e11)")
+		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10, e11, e12)")
 		ablation = flag.String("ablation", "", "run ablation (a1, a2, a3, a4, a5)")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "reduced Monte Carlo trial counts")
@@ -46,6 +48,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		inc      = flag.Bool("incremental", true, "use the incremental measurement engine (results are identical)")
 		naive    = flag.Bool("naive-swarm", false, "e11: full-copy images and per-report verification (pre-optimization baseline)")
+		sched    = flag.String("sched", "", "event-queue backend: heap or wheel (results are identical)")
 	)
 	flag.Parse()
 
@@ -53,6 +56,12 @@ func main() {
 		parallel.SetDefault(*par)
 	}
 	core.SetStreamingDefault(!*inc)
+	backend, err := sim.ParseBackend(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	sim.SetDefaultBackend(backend)
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -171,6 +180,15 @@ func main() {
 			cfg.Rounds = 1
 		}
 		fmt.Print(experiments.RenderE11(experiments.E11SwarmScale(cfg)))
+	})
+	run("E12: long-horizon self-measurement fleet (QoA sweep, scheduler throughput)", *exp == "e12", func() {
+		cfg := experiments.E12Config{Shards: *par}
+		if *quick {
+			cfg.Devices = 1000
+			cfg.Horizon = 8 * sim.Hour
+			cfg.TMs = []sim.Duration{2 * sim.Minute}
+		}
+		fmt.Print(experiments.RenderE12(experiments.E12FleetSelf(cfg)))
 	})
 	run("A1: SMARM block-count ablation", *ablation == "a1", func() {
 		fmt.Print(experiments.RenderA1(experiments.AblationSMARMBlocks(nil, trials(100), 1)))

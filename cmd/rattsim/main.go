@@ -23,6 +23,7 @@ import (
 
 	"saferatt"
 	"saferatt/internal/core"
+	"saferatt/internal/sim"
 )
 
 func main() {
@@ -47,9 +48,15 @@ func main() {
 		shards  = flag.Int("shards", 0, "swarm: worker shards for -devices (0 = GOMAXPROCS; results identical)")
 		noIso   = flag.Bool("no-isolation", false, "tytan: disable process isolation (the OS vulnerability)")
 		inc     = flag.Bool("incremental", true, "use the incremental measurement engine (dirty-block digest caching)")
+		sched   = flag.String("sched", "", "event-queue backend: heap or wheel (results identical)")
 	)
 	flag.Parse()
 	core.SetStreamingDefault(!*inc)
+	backend, err := sim.ParseBackend(*sched)
+	if err != nil {
+		log.Fatalf("rattsim: %v", err)
+	}
+	sim.SetDefaultBackend(backend)
 
 	switch *mode {
 	case "ondemand":

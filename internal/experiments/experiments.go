@@ -72,6 +72,10 @@ type WorldConfig struct {
 	// events). Monte Carlo hot loops use it: formatting trace details
 	// otherwise dominates the allocation profile.
 	NoTrace bool
+	// KernelBackend selects the event-queue implementation (heap or
+	// timing wheel; zero tracks the -sched process default). Results
+	// are bit-identical either way — see determinism_test.go.
+	KernelBackend sim.Backend
 }
 
 // NewWorld builds a World. It panics on wiring errors: experiment
@@ -86,7 +90,7 @@ func NewWorld(cfg WorldConfig) *World {
 	if cfg.Profile == nil {
 		cfg.Profile = costmodel.ODROIDXU4()
 	}
-	k := sim.NewKernel()
+	k := sim.NewKernelOn(cfg.KernelBackend)
 	m := mem.New(mem.Config{
 		Size: cfg.MemSize, BlockSize: cfg.BlockSize, ROMBlocks: cfg.ROMBlocks,
 		Clock: k.Now, LogWrites: cfg.LogWrites,

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync/atomic"
+)
+
+// Backend selects the kernel's event-queue implementation. Both
+// backends are semantically identical — same clock behavior, same FIFO
+// tie-break at equal virtual times — and produce bit-identical
+// simulations; they differ only in host cost per operation.
+type Backend uint8
+
+const (
+	// DefaultBackend resolves to the process-wide default
+	// (SetDefaultBackend; Heap unless overridden). Configs leave their
+	// KernelBackend field zero to track the -sched flag.
+	DefaultBackend Backend = iota
+	// Heap is a binary min-heap: O(log n) Schedule/Cancel/pop. The
+	// historical backend; cheapest for kernels with few pending events.
+	Heap
+	// Wheel is a hierarchical timing wheel: O(1) amortized
+	// Schedule/Arm/Cancel regardless of pending-event count. It wins on
+	// timer-heavy kernels (long-horizon fleets multiplexing thousands of
+	// devices on one kernel) and costs a few KiB of slot tables each.
+	Wheel
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Heap:
+		return "heap"
+	case Wheel:
+		return "wheel"
+	default:
+		return "default"
+	}
+}
+
+// ParseBackend maps the -sched flag values to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "default":
+		return DefaultBackend, nil
+	case "heap":
+		return Heap, nil
+	case "wheel":
+		return Wheel, nil
+	default:
+		return DefaultBackend, fmt.Errorf("sim: unknown scheduler backend %q (want heap or wheel)", s)
+	}
+}
+
+// defaultBackend holds the process-wide default; 0 (DefaultBackend)
+// means "Heap" until SetDefaultBackend overrides it. Atomic because
+// worlds (and their kernels) are built inside parallel trial workers.
+var defaultBackend atomic.Int32
+
+// SetDefaultBackend overrides the backend NewKernel uses when a config
+// leaves its KernelBackend zero (the -sched flag of cmd/figures and
+// cmd/rattsim). Passing DefaultBackend restores Heap.
+func SetDefaultBackend(b Backend) { defaultBackend.Store(int32(b)) }
+
+func resolveBackend(b Backend) Backend {
+	if b != DefaultBackend {
+		return b
+	}
+	if d := Backend(defaultBackend.Load()); d != DefaultBackend {
+		return d
+	}
+	return Heap
+}
+
+// queue is the backend contract. Implementations own pending events:
+// push/pop/remove maintain Event.index (>= 0 iff queued) and must drop
+// every reference they hold — slice cells, intrusive links — as events
+// leave the queue, so popped or cancelled events retain nothing.
+type queue interface {
+	push(e *Event)
+	remove(e *Event)
+	// pop unlinks and returns the earliest event (FIFO by seq at equal
+	// times), or nil if empty.
+	pop() *Event
+	// peek returns the earliest pending timestamp without dispatching.
+	peek() (Time, bool)
+	len() int
+}
+
+// heapQueue is the binary-heap backend: a container/heap over
+// (at, seq).
+type heapQueue []*Event
+
+func (q heapQueue) Len() int { return len(q) }
+func (q heapQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q heapQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *heapQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *heapQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil // release the slot: no reference beyond len
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+func (q *heapQueue) push(e *Event) { heap.Push(q, e) }
+
+func (q *heapQueue) remove(e *Event) { heap.Remove(q, e.index) }
+
+func (q *heapQueue) pop() *Event {
+	if len(*q) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Event)
+}
+
+func (q *heapQueue) peek() (Time, bool) {
+	if len(*q) == 0 {
+		return 0, false
+	}
+	return (*q)[0].at, true
+}
+
+func (q *heapQueue) len() int { return len(*q) }

@@ -1,19 +1,25 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // All of saferatt's device-level experiments run on virtual time: a
-// Kernel owns a monotonically non-decreasing clock and a priority queue
-// of events. Events scheduled for the same instant fire in scheduling
+// Kernel owns a monotonically non-decreasing clock and a queue of
+// events. Events scheduled for the same instant fire in scheduling
 // order, which makes every simulation bit-for-bit reproducible.
 //
 // The kernel is intentionally single-threaded: low-end IoT devices of
 // the kind studied in the paper have a single core, and determinism is a
 // design goal (see DESIGN.md §6).
+//
+// Two queue backends implement the same Kernel API with identical
+// semantics (see backend.go): a binary heap (O(log n) per operation)
+// and a hierarchical timing wheel (O(1) amortized Schedule/Arm/Cancel,
+// wheel.go). Long-horizon fleet simulations with tens of thousands of
+// pending timers in one kernel are heap-churn-bound; the wheel removes
+// that log factor. Both backends produce bit-identical event orderings
+// (pinned by TestBackendsEquivalent and the experiment determinism
+// tests), so the choice is purely a host-performance knob.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
 type Time int64
@@ -51,79 +57,80 @@ func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
 // Event is a scheduled callback. It is returned by the scheduling
 // methods so callers can cancel it before it fires.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index; -1 once removed
-	kernel *Kernel
+	at  Time
+	seq uint64
+	fn  func()
+	// index is the position marker inside the active backend: the heap
+	// index for the heap backend, level*wheelSlots+slot for the wheel.
+	// -1 once popped or cancelled; >= 0 means pending.
+	index int
+	// next/prev link the event into its wheel bucket (intrusive doubly
+	// linked list; nil under the heap backend and whenever not queued).
+	next, prev *Event
+	kernel     *Kernel
 }
 
 // At reports the virtual time the event is (or was) scheduled for.
 func (e *Event) At() Time { return e.at }
 
 // Cancel removes the event from the kernel's queue. Cancelling an event
-// that already fired or was already cancelled is a no-op.
+// that already fired or was already cancelled is a no-op. The stored
+// callback is released immediately: a cancelled event never retains the
+// closure (and whatever device state it captured) until reuse.
 func (e *Event) Cancel() {
 	if e == nil || e.index < 0 || e.kernel == nil {
 		return
 	}
-	heap.Remove(&e.kernel.queue, e.index)
-	e.index = -1
+	e.kernel.q.remove(e)
 	e.fn = nil
 }
 
 // Pending reports whether the event is still queued.
 func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
-
 // Kernel is a deterministic discrete-event scheduler.
 // The zero value is not usable; call NewKernel.
 type Kernel struct {
-	now   Time
-	queue eventQueue
-	seq   uint64
-	steps uint64
+	now     Time
+	q       queue
+	seq     uint64
+	steps   uint64
+	backend Backend
 }
 
-// NewKernel returns a kernel with the clock at 0 and an empty queue.
-func NewKernel() *Kernel { return &Kernel{} }
+// NewKernel returns a kernel with the clock at 0 and an empty queue,
+// using the process-wide default backend (SetDefaultBackend).
+func NewKernel() *Kernel { return NewKernelOn(DefaultBackend) }
+
+// NewKernelOn returns a kernel using the given queue backend.
+// DefaultBackend resolves to the process-wide default.
+func NewKernelOn(b Backend) *Kernel {
+	b = resolveBackend(b)
+	k := &Kernel{backend: b}
+	switch b {
+	case Wheel:
+		k.q = newWheelQueue()
+	default:
+		k.q = &heapQueue{}
+	}
+	return k
+}
+
+// Backend reports which queue backend this kernel runs on.
+func (k *Kernel) Backend() Backend { return k.backend }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Len returns the number of pending events.
-func (k *Kernel) Len() int { return len(k.queue) }
+func (k *Kernel) Len() int { return k.q.len() }
 
 // Steps returns the number of events dispatched so far.
 func (k *Kernel) Steps() uint64 { return k.steps }
+
+// NextTime returns the timestamp of the earliest pending event, or
+// false if the queue is empty.
+func (k *Kernel) NextTime() (Time, bool) { return k.q.peek() }
 
 // Schedule queues fn to run after delay. A negative delay is treated as
 // zero (run at the current instant, after already-queued events for this
@@ -146,21 +153,21 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	}
 	e := &Event{at: t, seq: k.seq, fn: fn, kernel: k}
 	k.seq++
-	heap.Push(&k.queue, e)
+	k.q.push(e)
 	return e
 }
 
 // Step dispatches the earliest pending event, advancing the clock to its
 // timestamp. It returns false if the queue is empty.
 func (k *Kernel) Step() bool {
-	if len(k.queue) == 0 {
+	e := k.q.pop()
+	if e == nil {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*Event)
 	k.now = e.at
 	k.steps++
 	fn := e.fn
-	e.fn = nil
+	e.fn = nil // the queue must not retain the closure past dispatch
 	fn()
 	return true
 }
@@ -181,13 +188,17 @@ func (k *Kernel) RunLimited(maxSteps uint64) bool {
 			return true
 		}
 	}
-	return len(k.queue) == 0
+	return k.q.len() == 0
 }
 
 // RunUntil dispatches events with timestamps <= t, then advances the
 // clock to exactly t (even if no event fired there).
 func (k *Kernel) RunUntil(t Time) {
-	for len(k.queue) > 0 && k.queue[0].at <= t {
+	for {
+		at, ok := k.q.peek()
+		if !ok || at > t {
+			break
+		}
 		k.Step()
 	}
 	if t > k.now {
@@ -236,7 +247,7 @@ func (t *Timer) Arm(delay Duration) {
 	t.ev.seq = k.seq
 	k.seq++
 	t.ev.fn = t.fn
-	heap.Push(&k.queue, &t.ev)
+	k.q.push(&t.ev)
 }
 
 // Cancel removes a pending activation (no-op if not pending).

@@ -67,6 +67,10 @@ type ShardedConfig struct {
 	// MaxStepsPerRound bounds each device kernel's event count per
 	// round (watchdog against runaway reschedule loops). Default 1<<22.
 	MaxStepsPerRound uint64
+	// KernelBackend selects each device kernel's event-queue
+	// implementation (heap or timing wheel; zero tracks the -sched
+	// process default). Round output is bit-identical either way.
+	KernelBackend sim.Backend
 }
 
 type shardDev struct {
@@ -116,7 +120,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		agg:       &Aggregate{Reports: map[string][]*core.Report{}},
 	}
 	for i := 0; i < cfg.Devices; i++ {
-		k := sim.NewKernel()
+		k := sim.NewKernelOn(cfg.KernelBackend)
 		var m *mem.Memory
 		if cfg.FullCopy {
 			m = mem.New(mem.Config{Size: cfg.MemSize, BlockSize: cfg.BlockSize,

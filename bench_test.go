@@ -431,8 +431,9 @@ func BenchmarkSwarm_Round(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					s, err := swarm.NewSharded(swarm.ShardedConfig{
-						Devices: n, MemSize: 16 << 10, BlockSize: 256,
-						Seed: uint64(i), FullCopy: m.naive,
+						EngineConfig: swarm.EngineConfig{Seed: uint64(i)},
+						Devices:      n, MemSize: 16 << 10, BlockSize: 256,
+						FullCopy:     m.naive,
 					})
 					if err != nil {
 						b.Fatal(err)
@@ -473,8 +474,9 @@ func BenchmarkSwarm_Provision(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s, err := swarm.NewSharded(swarm.ShardedConfig{
-					Devices: n, MemSize: 16 << 10, BlockSize: 256,
-					Seed: uint64(i), FullCopy: m.naive,
+					EngineConfig: swarm.EngineConfig{Seed: uint64(i)},
+					Devices:      n, MemSize: 16 << 10, BlockSize: 256,
+					FullCopy:     m.naive,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -516,9 +518,9 @@ func BenchmarkSched_SelfFleet(b *testing.B) {
 			var events uint64
 			for i := 0; i < b.N; i++ {
 				res, err := swarm.RunSelfFleet(swarm.SelfFleetConfig{
-					Devices: devices, Mode: swarm.SelfErasmus,
+					EngineConfig: swarm.EngineConfig{Seed: 42, KernelBackend: backend},
+					Devices:      devices, Mode: swarm.SelfErasmus,
 					TM: 2 * sim.Minute, TC: 30 * sim.Minute, Horizon: horizon,
-					Seed: 42, KernelBackend: backend,
 				})
 				if err != nil {
 					b.Fatal(err)

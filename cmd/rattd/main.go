@@ -1,0 +1,90 @@
+// Command rattd is the networked verifier daemon: it serves SMART
+// challenge/response, ERASMUS collection ingestion, and SeED report
+// ingestion over UDP, verifying provers against a deterministic golden
+// image through the amortized batch fast path.
+//
+//	rattd -addr 127.0.0.1:9779 -seed 42 -mem 65536 -block 1024
+//
+// Provers agree on the image by sharing (seed, mem, block); drive a
+// fleet against it with `rattsim -mode rattping -addr ...`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"saferatt/internal/rattd"
+	"saferatt/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9779", "UDP listen address")
+		seed     = flag.Uint64("seed", 42, "golden image seed (provers must match)")
+		memSize  = flag.Int("mem", 64<<10, "attested memory bytes")
+		block    = flag.Int("block", 1<<10, "block size bytes")
+		shuffled = flag.Bool("shuffled", false, "expect permuted traversal orders (SMARM-style)")
+		epochs   = flag.Int("keep-epochs", 64, "nonce epochs of expected tags to cache")
+		drop     = flag.Float64("drop", 0, "injected datagram loss rate (testing)")
+		verbose  = flag.Bool("v", false, "log every verification decision")
+		statsSec = flag.Int("stats", 30, "stats print interval in seconds (0 = only on exit)")
+	)
+	flag.Parse()
+
+	tr, err := transport.Listen(transport.NetConfig{Addr: *addr, DropRate: *drop})
+	if err != nil {
+		log.Fatalf("rattd: %v", err)
+	}
+	cfg := rattd.Config{
+		Ref:        rattd.GoldenImage(*seed, *memSize, *block),
+		BlockSize:  *block,
+		Shuffled:   *shuffled,
+		KeepEpochs: *epochs,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv, err := rattd.Serve(tr, cfg)
+	if err != nil {
+		log.Fatalf("rattd: %v", err)
+	}
+	log.Printf("rattd: serving on %s (image seed=%d %d bytes in %d-byte blocks)",
+		tr.Addr(), *seed, *memSize, *block)
+
+	printStats := func() {
+		c := srv.Counts()
+		b := srv.BatchStats()
+		n := tr.Stats()
+		log.Printf("rattd: challenges=%d accepted=%d rejected=%d replays=%d | batch reports=%d computed=%d | net rx=%d dup=%d malformed=%d",
+			c.Challenges, c.Accepted, c.Rejected, c.Replays, b.Reports, b.Computed,
+			n.Received, n.Dups, n.Malformed)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *statsSec > 0 {
+		tick := time.NewTicker(time.Duration(*statsSec) * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				printStats()
+			case <-sig:
+				goto done
+			}
+		}
+	} else {
+		<-sig
+	}
+done:
+	log.Printf("rattd: draining")
+	srv.Close()
+	tr.Close()
+	printStats()
+	fmt.Println("rattd: bye")
+}

@@ -13,6 +13,7 @@
 //	rattsim -mode swarm -devices 10000 -shards 8 -infect 42  # sharded fleet (COW images, batched verification)
 //	rattsim -mode tytan                       # per-process + colluding malware
 //	rattsim -mode tytan -no-isolation         # ... with the OS vulnerability
+//	rattsim -mode rattping -addr 127.0.0.1:9779 -provers 1000  # fleet vs a live rattd daemon
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "ondemand", "scenario: ondemand, erasmus, seed, swarm, tytan")
+		mode    = flag.String("mode", "ondemand", "scenario: ondemand, erasmus, seed, swarm, tytan, rattping")
 		mech    = flag.String("mech", "SMART", "mechanism: "+mechList())
 		hash    = flag.String("hash", "SHA-256", "hash: SHA-256, SHA-512, BLAKE2b, BLAKE2s")
 		rounds  = flag.Int("rounds", 0, "SMARM rounds (0 = preset default)")
@@ -47,6 +48,9 @@ func main() {
 		devices = flag.Int("devices", 0, "swarm: fleet size for the sharded engine (0 = tree protocol with -nodes)")
 		shards  = flag.Int("shards", 0, "swarm: worker shards for -devices (0 = GOMAXPROCS; results identical)")
 		noIso   = flag.Bool("no-isolation", false, "tytan: disable process isolation (the OS vulnerability)")
+		addr    = flag.String("addr", "127.0.0.1:9779", "rattping: rattd daemon address")
+		provers = flag.Int("provers", 100, "rattping: fleet size")
+		history = flag.Int("history", 3, "rattping: self-measurements per collection (negative skips)")
 		inc     = flag.Bool("incremental", true, "use the incremental measurement engine (dirty-block digest caching)")
 		sched   = flag.String("sched", "", "event-queue backend: heap or wheel (results identical)")
 	)
@@ -76,6 +80,9 @@ func main() {
 		return
 	case "tytan":
 		runTyTAN(*seed, !*noIso)
+		return
+	case "rattping":
+		runRattping(*addr, *provers, *seed, *memSize, *block, *history, *loss)
 		return
 	default:
 		log.Fatalf("unknown mode %q", *mode)

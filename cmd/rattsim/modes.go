@@ -13,7 +13,9 @@ import (
 	"saferatt/internal/inccache"
 	"saferatt/internal/malware"
 	"saferatt/internal/mem"
+	"saferatt/internal/rattd"
 	"saferatt/internal/sim"
+	"saferatt/internal/transport"
 	"saferatt/internal/suite"
 	"saferatt/internal/swarm"
 	"saferatt/internal/verifier"
@@ -24,8 +26,9 @@ import (
 func runErasmus(memSize, block int, seed uint64, horizonSec, tmSec int) {
 	opts := core.Preset(core.SMART, suite.SHA256)
 	w := experiments.NewWorld(experiments.WorldConfig{
-		Seed: seed, MemSize: memSize, BlockSize: block, ROMBlocks: 1,
-		Opts: opts, Latency: 5 * sim.Millisecond,
+		EngineConfig: experiments.EngineConfig{Seed: seed},
+		MemSize:      memSize, BlockSize: block, ROMBlocks: 1,
+		Opts:         opts, Latency: 5 * sim.Millisecond,
 	})
 	tm := sim.Duration(tmSec) * sim.Second
 	e, err := core.NewErasmus("prv", w.Dev, w.Link, opts, tm, 5)
@@ -59,8 +62,9 @@ func runErasmus(memSize, block int, seed uint64, horizonSec, tmSec int) {
 func runSeed(memSize, block int, seed uint64, horizonSec int, loss float64) {
 	opts := core.Preset(core.NoLock, suite.SHA256)
 	w := experiments.NewWorld(experiments.WorldConfig{
-		Seed: seed, MemSize: memSize, BlockSize: block, ROMBlocks: 1,
-		Opts: opts, Latency: 5 * sim.Millisecond, Loss: loss,
+		EngineConfig: experiments.EngineConfig{Seed: seed},
+		MemSize:      memSize, BlockSize: block, ROMBlocks: 1,
+		Opts:         opts, Latency: 5 * sim.Millisecond, Loss: loss,
 	})
 	shared := core.PRF([]byte{byte(seed)}, "demo-seed", seed)[:16]
 	p, err := core.NewSeED("prv", w.Dev, w.Link, opts, shared, 5*sim.Second, 2500*sim.Millisecond, 5)
@@ -127,9 +131,8 @@ func runSwarm(n int, seed uint64, infect int) {
 // batched verification at the collector.
 func runSwarmSharded(devices, shards int, seed uint64, infect int) {
 	s, err := swarm.NewSharded(swarm.ShardedConfig{
-		Devices: devices,
-		Seed:    seed,
-		Shards:  shards,
+		EngineConfig: swarm.EngineConfig{Seed: seed, Parallelism: shards},
+		Devices:      devices,
 	})
 	if err != nil {
 		fatal(err)
@@ -152,6 +155,34 @@ func runSwarmSharded(devices, shards int, seed uint64, infect int) {
 	fmt.Printf("verification: %d expected tags computed for %d reports\n",
 		bs.Computed, bs.Reports)
 	fmt.Printf("healthy=%v infected=%v missing=%v\n", res.Healthy(), res.Infected(), res.Missing)
+}
+
+// runRattping drives a fleet of real-socket provers against a live
+// rattd daemon: each completes a SMART challenge/response round and
+// ships an ERASMUS collection, over UDP with retries. The image
+// parameters (seed, mem, block) must match the daemon's.
+func runRattping(addr string, provers int, seed uint64, memSize, block, history int, loss float64) {
+	fmt.Printf("rattping: %d provers -> %s (image seed=%d, %d bytes in %d-byte blocks)\n",
+		provers, addr, seed, memSize, block)
+	res, err := rattd.RunFleet(rattd.FleetConfig{
+		Addr:      addr,
+		Provers:   provers,
+		Image:     rattd.GoldenImage(seed, memSize, block),
+		BlockSize: block,
+		History:   history,
+		Net:       transport.NetConfig{DropRate: loss},
+		Logf:      func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("SMART:      %d ok, %d failed\n", res.SMARTOK, res.SMARTFail)
+	if history > 0 {
+		fmt.Printf("collection: %d ok, %d failed\n", res.CollectOK, res.CollectFail)
+	}
+	fmt.Printf("round trip: p50=%v p99=%v max=%v\n", res.P50, res.P99, res.Max)
+	fmt.Printf("datagrams:  sent=%d resent=%d received=%d dups=%d expired=%d\n",
+		res.Net.Sent, res.Net.Resent, res.Net.Received, res.Net.Dups, res.Net.Expired)
 }
 
 // runTyTAN drives a per-process attestation round with colluding

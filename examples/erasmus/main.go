@@ -21,6 +21,7 @@ import (
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
 	"saferatt/internal/swarm"
+	"saferatt/internal/transport"
 	"saferatt/internal/verifier"
 )
 
@@ -40,9 +41,16 @@ func main() {
 	// infection dwelling 15 s (> T_M, so it cannot hide).
 	opts := core.Preset(core.SMART, suite.SHA256) // atomic measurement core
 	w := experiments.NewWorld(experiments.WorldConfig{
-		Seed: 11, MemSize: 8 << 10, BlockSize: 512, ROMBlocks: 1,
-		Opts: opts, Latency: 10 * sim.Millisecond,
+		EngineConfig: experiments.EngineConfig{Seed: 11},
+		MemSize:      8 << 10, BlockSize: 512, ROMBlocks: 1,
+		Opts:         opts, Latency: 10 * sim.Millisecond,
 	})
+	// The verifier collects over the typed transport API; on a simulated
+	// link the traffic is bit-identical to direct link wiring, and the
+	// same protocol code also runs over UDP (see cmd/rattd).
+	if err := w.Ver.Attach(transport.NewSim(w.Link)); err != nil {
+		panic(err)
+	}
 	e, err := core.NewErasmus("prv", w.Dev, w.Link, opts, 10*sim.Second, 5)
 	if err != nil {
 		panic(err)
@@ -83,9 +91,9 @@ func main() {
 	for _, b := range []sim.Backend{sim.Heap, sim.Wheel} {
 		start := time.Now()
 		res, err := swarm.RunSelfFleet(swarm.SelfFleetConfig{
-			Devices: 500, Mode: swarm.SelfErasmus,
+			EngineConfig: swarm.EngineConfig{Seed: 7, KernelBackend: b, Parallelism: 1},
+			Devices:      500, Mode: swarm.SelfErasmus,
 			TM: 30 * sim.Second, TC: 5 * sim.Minute, Horizon: sim.Hour,
-			Seed: 7, KernelBackend: b, Shards: 1,
 		})
 		if err != nil {
 			panic(err)

@@ -11,12 +11,12 @@ package main
 import (
 	"fmt"
 
-	"saferatt/internal/channel"
 	"saferatt/internal/core"
 	"saferatt/internal/experiments"
 	"saferatt/internal/malware"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
+	"saferatt/internal/transport"
 )
 
 func main() {
@@ -27,9 +27,16 @@ func main() {
 	// schedule monitor validates reports and flags drops.
 	opts := core.Preset(core.NoLock, suite.SHA256)
 	w := experiments.NewWorld(experiments.WorldConfig{
-		Seed: 21, MemSize: 8 << 10, BlockSize: 512, ROMBlocks: 1,
-		Opts: opts, Latency: 5 * sim.Millisecond, Loss: 0.10,
+		EngineConfig: experiments.EngineConfig{Seed: 21},
+		MemSize:      8 << 10, BlockSize: 512, ROMBlocks: 1,
+		Opts:         opts, Latency: 5 * sim.Millisecond, Loss: 0.10,
 	})
+	// The verifier receives this run over the typed transport API; on a
+	// simulated link the traffic is bit-identical to direct link wiring,
+	// and the same protocol code also runs over UDP (see cmd/rattd).
+	if err := w.Ver.Attach(transport.NewSim(w.Link)); err != nil {
+		panic(err)
+	}
 	shared := []byte("factory-provisioned-seed")
 	p, err := core.NewSeED("prv", w.Dev, w.Link, opts, shared, 5*sim.Second, 2500*sim.Millisecond, 5)
 	if err != nil {
@@ -54,16 +61,18 @@ func main() {
 	for _, leaked := range []bool{false, true} {
 		opts := core.Preset(core.SMART, suite.SHA256)
 		w := experiments.NewWorld(experiments.WorldConfig{
-			Seed: 33, MemSize: 4096, BlockSize: 256, ROMBlocks: 1, Opts: opts,
+			EngineConfig: experiments.EngineConfig{Seed: 33},
+			MemSize:      4096, BlockSize: 256, ROMBlocks: 1, Opts: opts,
 		})
 		prv, err := core.NewSeED("prv", w.Dev, w.Link, opts, []byte("s"), 5*sim.Second, 2*sim.Second, 5)
 		if err != nil {
 			panic(err)
 		}
 		var reports []*core.Report
-		w.Link.Connect("verifier", func(m channel.Message) {
-			if m.Kind == core.MsgSeedReport {
-				reports = append(reports, m.Payload.([]*core.Report)...)
+		tr := transport.NewSim(w.Link)
+		tr.Bind("verifier", func(m transport.Msg) {
+			if m.Kind == transport.KindSeedReport {
+				reports = append(reports, m.Reports...)
 			}
 		})
 		mw := malware.NewTransient(w.Dev, 50)

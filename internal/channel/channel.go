@@ -43,13 +43,26 @@ type AdversaryFunc func(m Message) Verdict
 // Inspect implements Adversary.
 func (f AdversaryFunc) Inspect(m Message) Verdict { return f(m) }
 
-// Stats counts link-level outcomes.
+// KindStats counts outcomes for one protocol message kind.
+type KindStats struct {
+	Sent       int
+	Delivered  int
+	LostRandom int
+	LostAdv    int
+	NoRoute    int
+}
+
+// Stats counts link-level outcomes, in aggregate and per message kind.
 type Stats struct {
 	Sent       int
 	Delivered  int
 	LostRandom int // dropped by the loss model
 	LostAdv    int // dropped by the adversary
 	NoRoute    int // destination not registered
+	// Kinds breaks every counter down by Message.Kind ("challenge",
+	// "report", ...), so a lossy run shows *which* protocol step paid
+	// for the loss.
+	Kinds map[string]KindStats
 }
 
 // Link is a lossy, delaying broadcast medium with named endpoints.
@@ -65,6 +78,7 @@ type Link struct {
 	handlers map[string]func(Message)
 	seq      uint64
 	stats    Stats
+	byKind   map[string]*KindStats
 }
 
 // Config assembles a Link.
@@ -98,6 +112,7 @@ func New(cfg Config) *Link {
 		Trace:    cfg.Trace,
 		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x6c696e6b)),
 		handlers: map[string]func(Message){},
+		byKind:   map[string]*KindStats{},
 	}
 }
 
@@ -110,6 +125,23 @@ func (l *Link) Connect(name string, h func(Message)) {
 	l.handlers[name] = h
 }
 
+// Disconnect unregisters an endpoint: its handler reference is
+// released immediately and messages still in flight toward it count as
+// NoRoute at delivery time, exactly like a never-registered name.
+func (l *Link) Disconnect(name string) {
+	delete(l.handlers, name)
+}
+
+// kindStats returns the mutable per-kind counter row for kind.
+func (l *Link) kindStats(kind string) *KindStats {
+	ks := l.byKind[kind]
+	if ks == nil {
+		ks = &KindStats{}
+		l.byKind[kind] = ks
+	}
+	return ks
+}
+
 // Send queues a message for delivery after the link latency (+jitter).
 // Loss and adversarial drops are decided at send time; delivery order
 // between distinct messages may interleave under jitter, as on a real
@@ -118,14 +150,18 @@ func (l *Link) Send(from, to, kind string, payload any) {
 	m := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: l.Kernel.Now(), Seq: l.seq}
 	l.seq++
 	l.stats.Sent++
+	ks := l.kindStats(kind)
+	ks.Sent++
 
 	if l.Adv != nil && l.Adv.Inspect(m) == Drop {
 		l.stats.LostAdv++
+		ks.LostAdv++
 		l.Trace.Addf(l.Kernel.Now(), trace.KindInterrupt, "adversary", "dropped %s %s->%s", kind, from, to)
 		return
 	}
 	if l.Loss > 0 && l.rng.Float64() < l.Loss {
 		l.stats.LostRandom++
+		ks.LostRandom++
 		return
 	}
 
@@ -137,12 +173,24 @@ func (l *Link) Send(from, to, kind string, payload any) {
 		h, ok := l.handlers[m.To]
 		if !ok {
 			l.stats.NoRoute++
+			l.kindStats(m.Kind).NoRoute++
 			return
 		}
 		l.stats.Delivered++
+		l.kindStats(m.Kind).Delivered++
 		h(m)
 	})
 }
 
-// Stats returns a copy of the link counters.
-func (l *Link) Stats() Stats { return l.stats }
+// Stats returns a copy of the link counters, including the per-kind
+// breakdown.
+func (l *Link) Stats() Stats {
+	s := l.stats
+	if len(l.byKind) > 0 {
+		s.Kinds = make(map[string]KindStats, len(l.byKind))
+		for k, ks := range l.byKind {
+			s.Kinds[k] = *ks
+		}
+	}
+	return s
+}

@@ -160,3 +160,78 @@ func TestSeqIncrements(t *testing.T) {
 		t.Fatalf("seqs = %v", seqs)
 	}
 }
+
+func TestPerKindStats(t *testing.T) {
+	k := sim.NewKernel()
+	l := New(Config{Kernel: k, Adv: AdversaryFunc(func(m Message) Verdict {
+		if m.Kind == "report" {
+			return Drop
+		}
+		return Deliver
+	})})
+	l.Connect("vrf", func(Message) {})
+	l.Send("vrf", "prv", "challenge", nil) // no route -> NoRoute
+	l.Send("prv", "vrf", "report", nil)    // adversary drops
+	l.Send("prv", "vrf", "collection", nil)
+	l.Send("prv", "vrf", "collection", nil)
+	k.Run()
+	s := l.Stats()
+	want := map[string]KindStats{
+		"challenge":  {Sent: 1, NoRoute: 1},
+		"report":     {Sent: 1, LostAdv: 1},
+		"collection": {Sent: 2, Delivered: 2},
+	}
+	for kind, w := range want {
+		if got := s.Kinds[kind]; got != w {
+			t.Errorf("Kinds[%q] = %+v, want %+v", kind, got, w)
+		}
+	}
+	// Per-kind rows must sum to the aggregates.
+	var sum KindStats
+	for _, ks := range s.Kinds {
+		sum.Sent += ks.Sent
+		sum.Delivered += ks.Delivered
+		sum.LostAdv += ks.LostAdv
+		sum.LostRandom += ks.LostRandom
+		sum.NoRoute += ks.NoRoute
+	}
+	if sum.Sent != s.Sent || sum.Delivered != s.Delivered || sum.LostAdv != s.LostAdv ||
+		sum.LostRandom != s.LostRandom || sum.NoRoute != s.NoRoute {
+		t.Fatalf("per-kind totals %+v disagree with aggregates %+v", sum, s)
+	}
+	// Stats() returns a copy: mutating it must not touch the link.
+	s.Kinds["collection"] = KindStats{}
+	if l.Stats().Kinds["collection"].Delivered != 2 {
+		t.Fatal("Stats() aliases internal counters")
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	k := sim.NewKernel()
+	l := New(Config{Kernel: k, Latency: sim.Millisecond})
+	n := 0
+	l.Connect("vrf", func(Message) { n++ })
+	l.Send("prv", "vrf", "report", nil)
+	k.Run()
+	// A message in flight when the endpoint disconnects counts as
+	// NoRoute, same as a never-registered name.
+	l.Send("prv", "vrf", "report", nil)
+	l.Disconnect("vrf")
+	k.Run()
+	l.Send("prv", "vrf", "report", nil)
+	k.Run()
+	s := l.Stats()
+	if n != 1 || s.Delivered != 1 || s.NoRoute != 2 {
+		t.Fatalf("n=%d stats %+v", n, s)
+	}
+	if ks := s.Kinds["report"]; ks.Sent != 3 || ks.Delivered != 1 || ks.NoRoute != 2 {
+		t.Fatalf("per-kind %+v", ks)
+	}
+	// Reconnecting restores delivery.
+	l.Connect("vrf", func(Message) { n++ })
+	l.Send("prv", "vrf", "report", nil)
+	k.Run()
+	if n != 2 {
+		t.Fatalf("delivery after reconnect: n=%d", n)
+	}
+}

@@ -49,8 +49,8 @@ func AblationSMARMBlocks(blockCounts []int, trials int, seed uint64) []A1Row {
 		// go through parallel.SetDefault.
 		escapes := parallel.Sum(0, trials, func(i int) int {
 			s := seed + uint64(i+n*13)
-			w := NewWorld(WorldConfig{Seed: s, MemSize: memSize, BlockSize: blockSize,
-				ROMBlocks: 1, Opts: opts, NoTrace: true})
+			w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: s, NoTrace: true},
+				MemSize: memSize, BlockSize: blockSize, ROMBlocks: 1, Opts: opts})
 			mw := malware.NewSelfRelocating(w.Dev, malwarePrio, s^0x515)
 			mustInfect(w, mw.Infect, int(s)%(n-1)+1)
 			reports := w.RunSessionToEnd(opts, []byte{byte(i), byte(n)}, mpPrio, mw.Hooks())
@@ -148,7 +148,8 @@ func AblationErasmusScheduling(seed uint64) []A3Row {
 		// 8 MiB => ~59 ms atomic measurement; sensor every 100 ms with
 		// a 100 ms deadline: a measurement colliding with a sensor
 		// pass risks the deadline.
-		w := NewWorld(WorldConfig{Seed: seed, MemSize: 8 << 20, BlockSize: 64 << 10, ROMBlocks: 1, Opts: opts})
+		w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: seed},
+			MemSize: 8 << 20, BlockSize: 64 << 10, ROMBlocks: 1, Opts: opts})
 		fa := safety.NewFireAlarm(w.Dev, safety.Config{
 			Priority:     appPrio,
 			SensorPeriod: 100 * sim.Millisecond,

@@ -61,8 +61,8 @@ func AblationDeviceClass(deadline sim.Duration) []A5Row {
 // profile and returns the alarm latency under SMART.
 func a5Simulate(p *costmodel.Profile) sim.Duration {
 	opts := core.Preset(core.SMART, suite.SHA256)
-	w := NewWorld(WorldConfig{Seed: 55, MemSize: 1 << 20, BlockSize: 16 << 10,
-		ROMBlocks: 1, Opts: opts, Profile: p})
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: 55},
+		MemSize: 1 << 20, BlockSize: 16 << 10, ROMBlocks: 1, Opts: opts, Profile: p})
 	fa := safety.NewFireAlarm(w.Dev, safety.Config{
 		Priority:     appPrio,
 		SensorPeriod: 100 * sim.Millisecond,

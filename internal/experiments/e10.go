@@ -63,7 +63,8 @@ func E10DoS(cfg E10Config) []E10Row {
 
 func e10Point(cfg E10Config, floodPeriod sim.Duration, seedScheme bool) E10Row {
 	opts := core.Preset(core.SMART, suite.SHA256) // atomic core either way
-	w := NewWorld(WorldConfig{Seed: cfg.Seed, MemSize: cfg.MemSize, BlockSize: 64 << 10,
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: cfg.Seed},
+		MemSize: cfg.MemSize, BlockSize: 64 << 10,
 		ROMBlocks: 1, Opts: opts, Latency: sim.Millisecond})
 
 	fa := safety.NewFireAlarm(w.Dev, safety.Config{

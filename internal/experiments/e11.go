@@ -90,11 +90,13 @@ func E11SwarmScale(cfg E11Config) []E11Row {
 
 func e11Point(cfg E11Config, devices int, infect bool) E11Row {
 	s, err := swarm.NewSharded(swarm.ShardedConfig{
+		EngineConfig: swarm.EngineConfig{
+			Seed:        cfg.Seed + uint64(devices),
+			Parallelism: cfg.Shards,
+		},
 		Devices:   devices,
 		MemSize:   cfg.MemSize,
 		BlockSize: cfg.BlockSize,
-		Seed:      cfg.Seed + uint64(devices),
-		Shards:    cfg.Shards,
 		FullCopy:  cfg.FullCopy,
 	})
 	if err != nil {

@@ -123,18 +123,20 @@ func E12FleetSelf(cfg E12Config) []E12Row {
 func e12Point(cfg E12Config, mode swarm.SelfMode, tm, tc sim.Duration) E12Row {
 	start := time.Now()
 	res, err := swarm.RunSelfFleet(swarm.SelfFleetConfig{
-		Devices:       cfg.Devices,
-		Mode:          mode,
-		TM:            tm,
-		TC:            tc,
-		Horizon:       cfg.Horizon,
-		InfectRate:    cfg.InfectRate,
-		Dwell:         cfg.Dwell,
-		MemSize:       cfg.MemSize,
-		BlockSize:     cfg.BlockSize,
-		Seed:          cfg.Seed + uint64(tm/sim.Second)<<16 + uint64(tc/sim.Second),
-		Shards:        cfg.Shards,
-		KernelBackend: cfg.KernelBackend,
+		EngineConfig: swarm.EngineConfig{
+			Seed:          cfg.Seed + uint64(tm/sim.Second)<<16 + uint64(tc/sim.Second),
+			Parallelism:   cfg.Shards,
+			KernelBackend: cfg.KernelBackend,
+		},
+		Devices:    cfg.Devices,
+		Mode:       mode,
+		TM:         tm,
+		TC:         tc,
+		Horizon:    cfg.Horizon,
+		InfectRate: cfg.InfectRate,
+		Dwell:      cfg.Dwell,
+		MemSize:    cfg.MemSize,
+		BlockSize:  cfg.BlockSize,
 	})
 	if err != nil {
 		panic("experiments: e12: " + err.Error())

@@ -93,8 +93,8 @@ func E5FireAlarm(cfg E5Config) []E5Row {
 
 func e5Simulate(cfg E5Config, id core.MechanismID, size int) E5Row {
 	opts := core.Preset(id, suite.SHA256)
-	w := NewWorld(WorldConfig{Seed: 5, MemSize: size, BlockSize: cfg.BlockSize,
-		ROMBlocks: 1, Opts: opts})
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: 5},
+		MemSize: size, BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
 	fa := safety.NewFireAlarm(w.Dev, safety.Config{
 		Priority:     appPrio,
 		SensorPeriod: cfg.SensorPeriod,

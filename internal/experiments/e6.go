@@ -70,8 +70,8 @@ func e6Point(cfg E6Config, blocks, rounds int) E6Row {
 	// so trials shard across workers with bit-identical results.
 	escaped := parallel.Sum(cfg.Parallelism, cfg.Trials, func(i int) int {
 		seed := cfg.Seed + uint64(i)*104729 + uint64(blocks*rounds)
-		w := NewWorld(WorldConfig{Seed: seed, MemSize: blocks * cfg.BlockSize,
-			BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
+		w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: seed, NoTrace: true},
+			MemSize: blocks * cfg.BlockSize, BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
 		mw := malware.NewSelfRelocating(w.Dev, malwarePrio, seed^0xabcdef)
 		mustInfect(w, mw.Infect, int(seed>>3)%(blocks-1)+1)
 		nonce := []byte{byte(i), byte(i >> 8), byte(blocks), byte(rounds)}

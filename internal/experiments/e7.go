@@ -75,8 +75,8 @@ func e7Point(cfg E7Config, dwell sim.Duration) E7Row {
 	detected := parallel.Sum(cfg.Parallelism, cfg.Trials, func(i int) int {
 		rng := parallel.TrialRNG(cfg.Seed^uint64(dwell)^0xe7, i)
 		opts := core.Preset(core.SMART, suite.SHA256) // atomic core, as in ERASMUS
-		w := NewWorld(WorldConfig{Seed: uint64(i) + cfg.Seed, MemSize: blocks * blockSize,
-			BlockSize: blockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
+		w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: uint64(i) + cfg.Seed, NoTrace: true},
+			MemSize: blocks * blockSize, BlockSize: blockSize, ROMBlocks: 1, Opts: opts})
 		e, err := core.NewErasmus("prv", w.Dev, nil, opts, cfg.TM, mpPrio)
 		if err != nil {
 			panic("experiments: " + err.Error())

@@ -80,8 +80,8 @@ func E8SeED(cfg E8Config) E8Result {
 // e8Loss: honest prover, lossy channel; count watchdog false positives.
 func e8Loss(cfg E8Config, loss float64) E8LossRow {
 	opts := core.Preset(core.NoLock, suite.SHA256)
-	w := NewWorld(WorldConfig{Seed: cfg.Seed + uint64(loss*1000), MemSize: 4096,
-		BlockSize: 256, ROMBlocks: 1, Opts: opts, Loss: loss})
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: cfg.Seed + uint64(loss*1000)},
+		MemSize: 4096, BlockSize: 256, ROMBlocks: 1, Opts: opts, Loss: loss})
 	seed := []byte("e8-shared-seed")
 	p, err := core.NewSeED("prv", w.Dev, w.Link, opts, seed, cfg.Period, cfg.Period/2, mpPrio)
 	if err != nil {
@@ -117,8 +117,8 @@ func e8Replay(cfg E8Config) (injected, accepted int) {
 		}
 		return channel.Deliver
 	})
-	w = NewWorld(WorldConfig{Seed: cfg.Seed + 5, MemSize: 4096, BlockSize: 256,
-		ROMBlocks: 1, Opts: opts, Adv: adv})
+	w = NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: cfg.Seed + 5},
+		MemSize: 4096, BlockSize: 256, ROMBlocks: 1, Opts: opts, Adv: adv})
 	seed := []byte("e8-shared-seed")
 	p, err := core.NewSeED("prv", w.Dev, w.Link, opts, seed, cfg.Period, cfg.Period/2, mpPrio)
 	if err != nil {
@@ -147,8 +147,9 @@ func e8Replay(cfg E8Config) (injected, accepted int) {
 func e8Schedule(cfg E8Config) (secretEscapes, leakedEscapes int) {
 	run := func(trial int, leaked bool) bool /*escaped*/ {
 		opts := core.Preset(core.SMART, suite.SHA256)
-		w := NewWorld(WorldConfig{Seed: cfg.Seed + uint64(trial)*31 + boolU64(leaked),
-			MemSize: 4096, BlockSize: 256, ROMBlocks: 1, Opts: opts, NoTrace: true})
+		w := NewWorld(WorldConfig{
+			EngineConfig: EngineConfig{Seed: cfg.Seed + uint64(trial)*31 + boolU64(leaked), NoTrace: true},
+			MemSize:      4096, BlockSize: 256, ROMBlocks: 1, Opts: opts})
 		seed := []byte{byte(trial), 0x88}
 		p, err := core.NewSeED("prv", w.Dev, w.Link, opts, seed, cfg.Period, cfg.Period/2, mpPrio)
 		if err != nil {

@@ -26,6 +26,7 @@ import (
 	"saferatt/internal/core"
 	"saferatt/internal/costmodel"
 	"saferatt/internal/device"
+	"saferatt/internal/engine"
 	"saferatt/internal/inccache"
 	"saferatt/internal/mem"
 	"saferatt/internal/sim"
@@ -52,9 +53,16 @@ type World struct {
 	goldenDigest func(b int) ([]byte, error)
 }
 
-// WorldConfig parameterizes NewWorld.
+// EngineConfig is the shared engine-knob block (Seed, Parallelism,
+// KernelBackend, NoTrace) embedded in WorldConfig; see engine.Config.
+type EngineConfig = engine.Config
+
+// WorldConfig parameterizes NewWorld. The cross-cutting knobs (Seed,
+// KernelBackend, NoTrace) live in the embedded EngineConfig;
+// Parallelism is ignored here — a World is a single-prover universe
+// with no internal fan-out.
 type WorldConfig struct {
-	Seed      uint64
+	EngineConfig
 	MemSize   int // default 4096
 	BlockSize int // default 256
 	ROMBlocks int // default 1
@@ -68,14 +76,6 @@ type WorldConfig struct {
 	// experiments (Fig. 1/4, consistency windows) need it; Monte Carlo
 	// sweeps run thousands of trials and leave it off.
 	LogWrites bool
-	// NoTrace drops the event log entirely (a nil trace.Log discards
-	// events). Monte Carlo hot loops use it: formatting trace details
-	// otherwise dominates the allocation profile.
-	NoTrace bool
-	// KernelBackend selects the event-queue implementation (heap or
-	// timing wheel; zero tracks the -sched process default). Results
-	// are bit-identical either way — see determinism_test.go.
-	KernelBackend sim.Backend
 }
 
 // NewWorld builds a World. It panics on wiring errors: experiment

@@ -53,8 +53,9 @@ func Fig1Timeline(cfg Fig1Config) Fig1Result {
 	}
 
 	opts := core.Preset(core.SMART, suite.SHA256)
-	w := NewWorld(WorldConfig{Seed: 1, MemSize: cfg.MemSize, BlockSize: cfg.BlockSize,
-		Opts: opts, Latency: cfg.Latency})
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: 1},
+		MemSize: cfg.MemSize, BlockSize: cfg.BlockSize,
+		Opts:    opts, Latency: cfg.Latency})
 
 	if _, err := core.NewProver("prv", w.Dev, w.Link, opts, 5); err != nil {
 		panic("experiments: " + err.Error())

@@ -47,7 +47,8 @@ func fig4One(id core.MechanismID) Fig4Row {
 	)
 	opts := core.Preset(id, suite.SHA256)
 	// Consistency judgment replays the write log.
-	w := NewWorld(WorldConfig{Seed: 77, MemSize: blocks * blockSize, BlockSize: blockSize,
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: 77},
+		MemSize: blocks * blockSize, BlockSize: blockSize,
 		ROMBlocks: 1, Opts: opts, LogWrites: true})
 	blockTime := w.Dev.Profile.StreamTime(opts.Hash, blockSize)
 	span := sim.Duration(blocks) * blockTime

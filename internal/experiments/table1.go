@@ -163,8 +163,8 @@ func mustInfect(w *World, infect func(int) error, block int) {
 func escapeRate(cfg Table1Config, opts core.Options, mpPriority int, plant func(*World, uint64) core.Hooks) float64 {
 	escapes := parallel.Sum(cfg.Parallelism, cfg.Trials, func(i int) int {
 		seed := cfg.Seed + uint64(i)*7919
-		w := NewWorld(WorldConfig{Seed: seed, MemSize: cfg.Blocks * cfg.BlockSize,
-			BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
+		w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: seed, NoTrace: true},
+			MemSize: cfg.Blocks * cfg.BlockSize, BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
 		hooks := plant(w, seed)
 		nonce := []byte{byte(i), byte(i >> 8), 0x42}
 		reports := w.RunSessionToEnd(opts, nonce, mpPriority, hooks)
@@ -183,8 +183,8 @@ func escapeRate(cfg Table1Config, opts core.Options, mpPriority int, plant func(
 // half-block-time; a probe succeeds if the write is performed (not
 // lock-denied) within one block time of submission.
 func availability(cfg Table1Config, opts core.Options, mpPriority int) float64 {
-	w := NewWorld(WorldConfig{Seed: cfg.Seed + 1, MemSize: cfg.Blocks * cfg.BlockSize,
-		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: cfg.Seed + 1, NoTrace: true},
+		MemSize: cfg.Blocks * cfg.BlockSize, BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
 	blockTime := w.Dev.Profile.StreamTime(opts.Hash, cfg.BlockSize)
 	eps := 2*blockTime + 10*w.Dev.Profile.CtxSwitch
 
@@ -247,8 +247,9 @@ func availability(cfg Table1Config, opts core.Options, mpPriority int) float64 {
 func consistency(cfg Table1Config, opts core.Options, mpPriority int) (atTS, atTE bool) {
 	// Consistency judgment replays the write log, so this world records
 	// writes (the only Table 1 world that does).
-	w := NewWorld(WorldConfig{Seed: cfg.Seed + 2, MemSize: cfg.Blocks * cfg.BlockSize,
-		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, LogWrites: true, NoTrace: true})
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: cfg.Seed + 2, NoTrace: true},
+		MemSize: cfg.Blocks * cfg.BlockSize, BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts,
+		LogWrites: true})
 	blockTime := w.Dev.Profile.StreamTime(opts.Hash, cfg.BlockSize)
 
 	writer := w.Dev.NewTask("writer", appPrio)
@@ -292,8 +293,8 @@ func consistency(cfg Table1Config, opts core.Options, mpPriority int) (atTS, atT
 // preemptLatency measures the worst wait of a top-priority application
 // step submitted one third of the way into a measurement.
 func preemptLatency(cfg Table1Config, opts core.Options, mpPriority int) sim.Duration {
-	w := NewWorld(WorldConfig{Seed: cfg.Seed + 3, MemSize: cfg.Blocks * cfg.BlockSize,
-		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: cfg.Seed + 3, NoTrace: true},
+		MemSize: cfg.Blocks * cfg.BlockSize, BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
 	app := w.Dev.NewTask("app", appPrio)
 
 	task := w.Dev.NewTask("mp", mpPriority)
@@ -319,8 +320,8 @@ func preemptLatency(cfg Table1Config, opts core.Options, mpPriority int) sim.Dur
 // measureDuration times one clean attestation session — all rounds, so
 // SMARM's k successive measurements show up as k× run-time overhead.
 func measureDuration(cfg Table1Config, opts core.Options) sim.Duration {
-	w := NewWorld(WorldConfig{Seed: cfg.Seed + 4, MemSize: cfg.Blocks * cfg.BlockSize,
-		BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts, NoTrace: true})
+	w := NewWorld(WorldConfig{EngineConfig: EngineConfig{Seed: cfg.Seed + 4, NoTrace: true},
+		MemSize: cfg.Blocks * cfg.BlockSize, BlockSize: cfg.BlockSize, ROMBlocks: 1, Opts: opts})
 	reports := w.RunSessionToEnd(opts, []byte("dur"), mpPrio, core.Hooks{})
 	return reports[len(reports)-1].TE.Sub(reports[0].TS)
 }

@@ -1,0 +1,296 @@
+// Package rattd implements the networked verifier daemon: a
+// transport-agnostic attestation service that answers SMART
+// challenge/response hellos (§2.2), ingests ERASMUS collection bundles
+// and SeED prover-initiated reports (§3.3) for thousands of provers,
+// and verifies everything through the amortized verifier.Batch fast
+// path against one shared golden image.
+//
+// The daemon speaks typed transport messages only, so the same Server
+// runs over transport.Sim in deterministic tests and over
+// transport.Net on real UDP sockets (cmd/rattd). It keeps no
+// simulation clock: freshness bookkeeping that needs wall time lives
+// with the caller; protocol-level replay protection (nonce binding,
+// monotonic counters) is self-contained.
+package rattd
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"saferatt/internal/core"
+	"saferatt/internal/suite"
+	"saferatt/internal/transport"
+	"saferatt/internal/verifier"
+)
+
+// DefaultKey is the fleet-shared attestation key devices ship with
+// (mirrors the device default; real deployments provision their own).
+var DefaultKey = []byte("saferatt-default-attestation-key")
+
+// Config assembles a Server.
+type Config struct {
+	// Name is the daemon's endpoint name; defaults to "rattd".
+	Name string
+	// Key is the shared MAC-mode attestation key; defaults to
+	// DefaultKey.
+	Key []byte
+	// Ref is the golden memory image provers are expected to hold.
+	Ref []byte
+	// BlockSize is the measurement granularity of Ref.
+	BlockSize int
+	// Shuffled selects permuted traversal orders (SMARM-style).
+	Shuffled bool
+	// Hash is the measurement hash; defaults to suite.SHA256.
+	Hash suite.HashID
+	// KeepEpochs sizes the batch verifier's multi-epoch expected-tag
+	// cache. ERASMUS self-measurements carry counter-derived nonces, so
+	// bundles from a fleet interleave a handful of epochs; defaults
+	// to 64.
+	KeepEpochs int
+	// Logf, if set, receives per-decision diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Counts aggregates the daemon's verification outcomes.
+type Counts struct {
+	Challenges uint64 // hellos answered with a fresh nonce
+	Accepted   uint64 // reports that verified clean
+	Rejected   uint64 // reports rejected (tag, nonce, geometry, ...)
+	Replays    uint64 // reports rejected as replays specifically
+}
+
+// Server is the verifier daemon.
+type Server struct {
+	cfg Config
+	tr  transport.Transport
+
+	mu       sync.Mutex
+	batch    *verifier.Batch
+	pending  map[string][]byte          // prover -> outstanding challenge nonce
+	seen     map[string]map[uint64]bool // prover -> accepted ERASMUS counters
+	seedLast map[string]uint64          // prover -> highest accepted SeED counter
+	nonceCtr uint64
+	counts   Counts
+}
+
+// Serve binds a new Server to tr under cfg.Name and starts answering.
+func Serve(tr transport.Transport, cfg Config) (*Server, error) {
+	if len(cfg.Ref) == 0 || cfg.BlockSize <= 0 || len(cfg.Ref)%cfg.BlockSize != 0 {
+		return nil, fmt.Errorf("rattd: golden image of %d bytes is not a positive multiple of block size %d",
+			len(cfg.Ref), cfg.BlockSize)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "rattd"
+	}
+	if cfg.Key == nil {
+		cfg.Key = DefaultKey
+	}
+	if cfg.Hash == "" {
+		cfg.Hash = suite.SHA256
+	}
+	if cfg.KeepEpochs == 0 {
+		cfg.KeepEpochs = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		tr:       tr,
+		batch:    verifier.NewBatch(cfg.Hash, cfg.Ref, cfg.BlockSize),
+		pending:  map[string][]byte{},
+		seen:     map[string]map[uint64]bool{},
+		seedLast: map[string]uint64{},
+	}
+	s.batch.KeepEpochs = cfg.KeepEpochs
+	if err := tr.Bind(cfg.Name, s.onMsg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name returns the daemon's endpoint name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Close unbinds the daemon from its transport. The transport itself is
+// the caller's to close (it may host other endpoints).
+func (s *Server) Close() { s.tr.Unbind(s.cfg.Name) }
+
+// Counts returns a snapshot of outcome counters.
+func (s *Server) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// BatchStats exposes the amortization counters of the batch verifier.
+func (s *Server) BatchStats() verifier.BatchStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batch.Stats()
+}
+
+func (s *Server) onMsg(m transport.Msg) {
+	switch m.Kind {
+	case transport.KindHello:
+		s.handleHello(m)
+	case transport.KindReport:
+		s.handleReport(m)
+	case transport.KindCollection:
+		s.handleCollection(m)
+	case transport.KindSeedReport:
+		s.handleSeed(m)
+	}
+}
+
+// handleHello answers a prover's hello with a fresh challenge nonce
+// (step 1 of the §2.2 timeline, prover-initiated so it traverses NATs).
+func (s *Server) handleHello(m transport.Msg) {
+	s.mu.Lock()
+	s.nonceCtr++
+	nonce := core.PRF(s.cfg.Key, "rattd-challenge", s.nonceCtr)[:16]
+	s.pending[m.From] = nonce
+	s.counts.Challenges++
+	s.mu.Unlock()
+	s.tr.Send(transport.Msg{From: s.cfg.Name, To: m.From, Kind: transport.KindChallenge, Nonce: nonce})
+}
+
+// handleReport validates a challenge response and answers with a
+// verdict.
+func (s *Server) handleReport(m transport.Msg) {
+	s.mu.Lock()
+	nonce, outstanding := s.pending[m.From]
+	delete(s.pending, m.From)
+	ok, reason := false, ""
+	if !outstanding {
+		reason = "unsolicited report"
+	} else if len(m.Reports) == 0 {
+		reason = "empty report bundle"
+	} else {
+		ok = true
+		for _, r := range m.Reports {
+			if !hmac.Equal(r.Nonce, nonce) {
+				ok, reason = false, "nonce mismatch"
+				break
+			}
+			if ok, reason = s.verifyLocked(r); !ok {
+				break
+			}
+		}
+	}
+	s.count(ok)
+	s.mu.Unlock()
+	s.logf("report %s: ok=%v %s", m.From, ok, reason)
+	s.tr.Send(transport.Msg{From: s.cfg.Name, To: m.From, Kind: transport.KindVerdict, OK: ok, Reason: reason})
+}
+
+// handleCollection validates an ERASMUS measurement history: per-report
+// tags, counter-bound self-derived nonces, no replayed and no
+// non-monotonic counters (§3.3). Each offending report is rejected
+// exactly once; the verdict covers the whole bundle.
+func (s *Server) handleCollection(m transport.Msg) {
+	s.mu.Lock()
+	ok, reason := true, ""
+	if len(m.Reports) == 0 {
+		ok, reason = false, "empty collection"
+	}
+	seen := s.seen[m.From]
+	if seen == nil {
+		seen = map[uint64]bool{}
+		s.seen[m.From] = seen
+	}
+	var prevCtr uint64
+	for i, r := range m.Reports {
+		rok, rreason := true, ""
+		want := core.PRF(s.cfg.Key, "erasmus-nonce", r.Counter)
+		switch {
+		case !hmac.Equal(r.Nonce, want):
+			rok, rreason = false, "self-measurement nonce not bound to counter"
+		case seen[r.Counter]:
+			rok, rreason = false, "replayed measurement counter"
+			s.counts.Replays++
+		case i > 0 && r.Counter <= prevCtr:
+			rok, rreason = false, "non-monotonic measurement counter"
+		default:
+			rok, rreason = s.verifyLocked(r)
+		}
+		if rok {
+			seen[r.Counter] = true
+		}
+		s.count(rok)
+		if !rok && ok {
+			ok, reason = false, rreason
+		}
+		prevCtr = r.Counter
+	}
+	s.mu.Unlock()
+	s.logf("collection %s (%d reports): ok=%v %s", m.From, len(m.Reports), ok, reason)
+	s.tr.Send(transport.Msg{From: s.cfg.Name, To: m.From, Kind: transport.KindVerdict, OK: ok, Reason: reason})
+}
+
+// handleSeed ingests unsolicited SeED reports: nonce bound to the
+// prover's derived seed and counter, counters strictly monotonic.
+// SeED is non-interactive, so no verdict is sent back.
+func (s *Server) handleSeed(m transport.Msg) {
+	s.mu.Lock()
+	seed := SeedFor(s.cfg.Key, m.From)
+	for _, r := range m.Reports {
+		rok, rreason := true, ""
+		want := core.PRF(seed, "seed-nonce", r.Counter)
+		switch {
+		case !hmac.Equal(r.Nonce, want):
+			rok, rreason = false, "SeED nonce not bound to counter"
+		case r.Counter <= s.seedLast[m.From]:
+			rok, rreason = false, "replayed SeED report"
+			s.counts.Replays++
+		default:
+			rok, rreason = s.verifyLocked(r)
+		}
+		if rok {
+			s.seedLast[m.From] = r.Counter
+		}
+		s.count(rok)
+		s.logf("seed-report %s ctr=%d: ok=%v %s", m.From, r.Counter, rok, rreason)
+	}
+	s.mu.Unlock()
+}
+
+// verifyLocked checks one report's tag through the batch fast path.
+// Callers hold s.mu.
+func (s *Server) verifyLocked(r *core.Report) (bool, string) {
+	if r.RegionCount > 0 || r.Data != nil {
+		// Per-device regions and reported data blocks defeat the shared
+		// expected tag; the daemon serves uniform fleets.
+		return false, "region/data reports are not served by rattd"
+	}
+	ok, err := s.batch.Verify(s.cfg.Key, r, s.cfg.Shuffled)
+	if err != nil {
+		return false, "verification error: " + err.Error()
+	}
+	if !ok {
+		return false, "tag mismatch (memory deviates from golden image)"
+	}
+	return true, ""
+}
+
+func (s *Server) count(ok bool) {
+	if ok {
+		s.counts.Accepted++
+	} else {
+		s.counts.Rejected++
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// SeedFor derives a prover's SeED schedule seed from the shared key
+// and its name; daemon and prover compute it independently.
+func SeedFor(key []byte, prover string) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte("rattd-seed:"))
+	mac.Write([]byte(prover))
+	return mac.Sum(nil)
+}

@@ -1,0 +1,180 @@
+package swarm
+
+import (
+	"testing"
+	"time"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+	"saferatt/internal/transport"
+)
+
+// pullWorld abstracts the two transport backends for the pull tests:
+// the collector's transport, a way to host member endpoints, and a way
+// to let deliveries settle.
+type pullWorld struct {
+	tr transport.Transport
+	// mtr is the transport member endpoints send replies on (the same
+	// object for Sim, the client socket for Net).
+	mtr    transport.Transport
+	member func(name string, h transport.Handler)
+	settle func()
+	close  func()
+}
+
+func simPullWorld(t *testing.T) *pullWorld {
+	t.Helper()
+	k := sim.NewKernel()
+	link := channel.New(channel.Config{Kernel: k, Latency: sim.Millisecond, Seed: 3})
+	tr := transport.NewSim(link)
+	return &pullWorld{
+		tr:     tr,
+		mtr:    tr,
+		member: func(name string, h transport.Handler) { tr.Bind(name, h) },
+		settle: func() { k.Run() },
+		close:  func() {},
+	}
+}
+
+func netPullWorld(t *testing.T) *pullWorld {
+	t.Helper()
+	srv, err := transport.Listen(transport.NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := transport.Dial(srv.Addr().String(), transport.NetConfig{})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return &pullWorld{
+		tr:  srv,
+		mtr: cli,
+		member: func(name string, h transport.Handler) {
+			cli.Bind(name, h)
+			srv.AddRoute(name, cli.Addr().String())
+		},
+		settle: func() { time.Sleep(2 * time.Millisecond) },
+		close:  func() { cli.Close(); srv.Close() },
+	}
+}
+
+func pullReport(round int) *core.Report {
+	return &core.Report{Mechanism: core.SMARM, Scheme: "HMAC-SHA-256",
+		Round: round, Tag: []byte{1, 2, 3}, BlockSize: 256, NumBlocks: 8}
+}
+
+func runPullSuite(t *testing.T, mk func(t *testing.T) *pullWorld) {
+	t.Run("CompleteRound", func(t *testing.T) {
+		w := mk(t)
+		defer w.close()
+		members := []string{"node00", "node01", "node02"}
+		for i, name := range members {
+			name, round := name, i+1
+			w.member(name, func(m transport.Msg) {
+				if m.Kind == transport.KindCollect {
+					w.mtr.Send(transport.Msg{From: name, To: m.From, Kind: transport.KindCollection,
+						Reports: []*core.Report{pullReport(round)}})
+				}
+			})
+		}
+		c := NewCollector(suite.SHA256)
+		// Over Net the done callback runs on the receive goroutine; the
+		// channel hand-off is what makes reading the aggregate safe here.
+		donec := make(chan *Aggregate, 1)
+		p, err := c.PullOver(w.tr, "collector", members, func(a *Aggregate) { donec <- a })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got *Aggregate
+		for i := 0; i < 2000 && got == nil; i++ {
+			select {
+			case got = <-donec:
+			default:
+				w.settle()
+			}
+		}
+		if got == nil {
+			t.Fatalf("round never completed; %d members pending", p.Pending())
+		}
+		if len(got.Reports) != 3 || len(got.Duplicates) != 0 {
+			t.Fatalf("aggregate: %+v", got)
+		}
+		for i, name := range members {
+			reps := got.Reports[name]
+			if len(reps) != 1 || reps[0].Round != i+1 {
+				t.Fatalf("reports for %s: %+v", name, reps)
+			}
+		}
+	})
+
+	t.Run("StragglerFinish", func(t *testing.T) {
+		w := mk(t)
+		defer w.close()
+		w.member("node00", func(m transport.Msg) {
+			if m.Kind == transport.KindCollect {
+				w.mtr.Send(transport.Msg{From: "node00", To: m.From, Kind: transport.KindCollection,
+					Reports: []*core.Report{pullReport(1)}})
+			}
+		})
+		// node01 exists but never answers.
+		w.member("node01", func(transport.Msg) {})
+		c := NewCollector(suite.SHA256)
+		p, err := c.PullOver(w.tr, "collector", []string{"node00", "node01"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000 && p.Pending() > 1; i++ {
+			w.settle()
+		}
+		agg := p.Finish()
+		if len(agg.Reports) != 1 || agg.Reports["node00"] == nil {
+			t.Fatalf("aggregate after forced finish: %+v", agg)
+		}
+		if p.Pending() != 1 {
+			t.Fatalf("pending after finish: %d", p.Pending())
+		}
+	})
+
+	t.Run("DuplicateBundleRecorded", func(t *testing.T) {
+		w := mk(t)
+		defer w.close()
+		// node00 answers twice under the same name (mis-wired tree /
+		// impersonation shape); node01 completes the round afterwards.
+		w.member("node00", func(m transport.Msg) {
+			if m.Kind == transport.KindCollect {
+				for r := 1; r <= 2; r++ {
+					w.mtr.Send(transport.Msg{From: "node00", To: m.From, Kind: transport.KindCollection,
+						Reports: []*core.Report{pullReport(r)}})
+				}
+			}
+		})
+		// node01 is registered but silent, so the round stays open long
+		// enough for both of node00's bundles to land.
+		w.member("node01", func(transport.Msg) {})
+		c := NewCollector(suite.SHA256)
+		p, err := c.PullOver(w.tr, "collector", []string{"node00", "node01"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000 && p.Pending() > 1; i++ {
+			w.settle()
+		}
+		// Let the duplicate bundle land too before closing the round.
+		for i := 0; i < 50; i++ {
+			w.settle()
+		}
+		got := p.Finish()
+		if len(got.Duplicates) != 1 || got.Duplicates[0] != "node00" {
+			t.Fatalf("duplicates: %v", got.Duplicates)
+		}
+		if got.Reports["node00"][0].Round != 1 {
+			t.Fatal("first bundle was not the one kept")
+		}
+	})
+}
+
+func TestPullOverSim(t *testing.T) { runPullSuite(t, simPullWorld) }
+func TestPullOverNet(t *testing.T) { runPullSuite(t, netPullWorld) }

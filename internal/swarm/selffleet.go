@@ -32,7 +32,11 @@ import (
 // shared kernel never interact, so neither the shard count nor the
 // queue backend can change any reported bit; only host cost moves.
 // RunSelfFleet merges per-device outcomes in device-index order.
+//
+// Seed (golden image + every per-device PRF stream), Parallelism
+// (shard fan-out) and KernelBackend live in the embedded EngineConfig.
 type SelfFleetConfig struct {
+	EngineConfig
 	// Devices is the fleet size (required, > 0).
 	Devices int
 	// Mode selects the self-measurement scheduler (§3.3): SelfErasmus
@@ -61,20 +65,16 @@ type SelfFleetConfig struct {
 	MemSize   int
 	BlockSize int
 	ROMBlocks int
-	// Seed derives the golden image and every per-device PRF stream.
-	Seed uint64
 	// Opts configures each measurement; default Preset(NoLock, SHA256).
 	Opts core.Options
 	// Profile is the device cost model; defaults to ODROIDXU4.
 	Profile *costmodel.Profile
-	// Shards caps worker parallelism (0 = package default, 1 = serial).
-	// Each shard owns one kernel multiplexing its device range; the
-	// shard count never changes results.
+	// Shards caps worker parallelism; each shard owns one kernel
+	// multiplexing its device range.
+	//
+	// Deprecated: set Parallelism (EngineConfig) instead. Shards is
+	// honoured only while Parallelism is zero.
 	Shards int
-	// KernelBackend selects the shard kernels' event queue (heap or
-	// timing wheel; zero tracks the -sched process default). Results
-	// are bit-identical either way.
-	KernelBackend sim.Backend
 	// MaxSteps bounds each shard kernel's event count (watchdog against
 	// runaway reschedule loops). Default 1<<36.
 	MaxSteps uint64
@@ -240,7 +240,7 @@ func RunSelfFleet(cfg SelfFleetConfig) (*SelfFleetResult, error) {
 
 	golden := mem.RandomGolden(cfg.MemSize, cfg.BlockSize, cfg.ROMBlocks,
 		rand.New(rand.NewPCG(cfg.Seed, 0xe12)))
-	workers := parallel.Resolve(cfg.Shards)
+	workers := parallel.Resolve(cfg.Workers(cfg.Shards))
 	if workers > cfg.Devices {
 		workers = cfg.Devices
 	}

@@ -11,16 +11,16 @@ import (
 // schedule modes, infections and collections in a few host seconds.
 func smallFleet(mode SelfMode) SelfFleetConfig {
 	return SelfFleetConfig{
-		Devices:    60,
-		Mode:       mode,
-		TM:         2 * sim.Minute,
-		TC:         10 * sim.Minute,
-		Horizon:    2 * sim.Hour,
-		Dwell:      5 * sim.Minute, // > TM: every infection overlaps a measurement
-		InfectRate: 0.25,
-		MemSize:    2 << 10,
-		BlockSize:  512,
-		Seed:       42,
+		EngineConfig: EngineConfig{Seed: 42},
+		Devices:      60,
+		Mode:         mode,
+		TM:           2 * sim.Minute,
+		TC:           10 * sim.Minute,
+		Horizon:      2 * sim.Hour,
+		Dwell:        5 * sim.Minute, // > TM: every infection overlaps a measurement
+		InfectRate:   0.25,
+		MemSize:      2 << 10,
+		BlockSize:    512,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"saferatt/internal/core"
 	"saferatt/internal/costmodel"
 	"saferatt/internal/device"
+	"saferatt/internal/engine"
 	"saferatt/internal/mem"
 	"saferatt/internal/parallel"
 	"saferatt/internal/sim"
@@ -40,8 +41,17 @@ type Sharded struct {
 	agg    *Aggregate // reused across rounds
 }
 
-// ShardedConfig sizes a sharded fleet.
+// EngineConfig is the shared engine-knob block (Seed, Parallelism,
+// KernelBackend, NoTrace) embedded in ShardedConfig and
+// SelfFleetConfig; see engine.Config.
+type EngineConfig = engine.Config
+
+// ShardedConfig sizes a sharded fleet. Seed, Parallelism (worker
+// fan-out for Round) and KernelBackend live in the embedded
+// EngineConfig; neither ever changes Round output, only wall-clock
+// time.
 type ShardedConfig struct {
+	EngineConfig
 	// Devices is the fleet size (required, > 0).
 	Devices int
 	// MemSize / BlockSize / ROMBlocks set the image geometry. Defaults:
@@ -49,16 +59,15 @@ type ShardedConfig struct {
 	MemSize   int
 	BlockSize int
 	ROMBlocks int
-	// Seed derives the golden image content.
-	Seed uint64
 	// Opts configures the measurement mechanism on every device.
 	// Zero value defaults to Preset(NoLock, SHA256).
 	Opts core.Options
 	// Profile is the device cost model; defaults to ODROIDXU4.
 	Profile *costmodel.Profile
-	// Shards caps worker parallelism for Round: 0 uses the package
-	// default (GOMAXPROCS), 1 is fully serial. The shard count never
-	// changes results, only wall-clock time.
+	// Shards caps worker parallelism for Round.
+	//
+	// Deprecated: set Parallelism (EngineConfig) instead. Shards is
+	// honoured only while Parallelism is zero.
 	Shards int
 	// FullCopy disables copy-on-write sharing: every device carries a
 	// private flat copy of the golden image. This is the pre-sharding
@@ -67,10 +76,6 @@ type ShardedConfig struct {
 	// MaxStepsPerRound bounds each device kernel's event count per
 	// round (watchdog against runaway reschedule loops). Default 1<<22.
 	MaxStepsPerRound uint64
-	// KernelBackend selects each device kernel's event-queue
-	// implementation (heap or timing wheel; zero tracks the -sched
-	// process default). Round output is bit-identical either way.
-	KernelBackend sim.Backend
 }
 
 type shardDev struct {
@@ -177,7 +182,7 @@ func (s *Sharded) ResidentBytes() int {
 // SwarmResult and the engine's aggregate are valid until the next
 // Round call.
 func (s *Sharded) Round(nonce []byte) (*SwarmResult, error) {
-	workers := parallel.Resolve(s.cfg.Shards)
+	workers := parallel.Resolve(s.cfg.Workers(s.cfg.Shards))
 	maxSteps := s.cfg.MaxStepsPerRound
 	parallel.For(workers, len(s.devs), func(i int) {
 		d := s.devs[i]

@@ -11,17 +11,30 @@ import (
 func newShardedFleet(t testing.TB, devices, shards int, fullCopy bool) *Sharded {
 	t.Helper()
 	s, err := NewSharded(ShardedConfig{
-		Devices:   devices,
-		MemSize:   16 << 10,
-		BlockSize: 256,
-		Seed:      1234,
-		Shards:    shards,
-		FullCopy:  fullCopy,
+		EngineConfig: EngineConfig{Seed: 1234},
+		Devices:      devices,
+		MemSize:      16 << 10,
+		BlockSize:    256,
+		Shards:       shards, // deprecated alias; pins the legacy knob
+		FullCopy:     fullCopy,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// The embedded EngineConfig's Parallelism knob wins over the
+// deprecated Shards alias; Shards only applies while Parallelism is
+// zero.
+func TestParallelismOverridesDeprecatedShards(t *testing.T) {
+	cfg := EngineConfig{Parallelism: 3}
+	if got := cfg.Workers(8); got != 3 {
+		t.Fatalf("Workers with Parallelism=3, Shards=8: got %d", got)
+	}
+	if got := (EngineConfig{}).Workers(8); got != 8 {
+		t.Fatalf("Workers with Parallelism unset, Shards=8: got %d", got)
+	}
 }
 
 // infectSome pokes a deterministic set of devices.
@@ -174,11 +187,10 @@ func TestSharded10K(t *testing.T) {
 		t.Skip("skipping 10k-device fleet in -short mode")
 	}
 	s, err := NewSharded(ShardedConfig{
-		Devices:   10_000,
-		MemSize:   8 << 10,
-		BlockSize: 256,
-		Seed:      99,
-		Shards:    0, // GOMAXPROCS
+		EngineConfig: EngineConfig{Seed: 99, Parallelism: 0}, // 0 = GOMAXPROCS
+		Devices:      10_000,
+		MemSize:      8 << 10,
+		BlockSize:    256,
 	})
 	if err != nil {
 		t.Fatal(err)

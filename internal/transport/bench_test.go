@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+)
+
+// BenchmarkTransport_Codec measures one encode+decode of a report
+// frame — the per-datagram CPU cost on the Net hot path.
+func BenchmarkTransport_Codec(b *testing.B) {
+	m := &Msg{From: "prv0042", To: "vrf", Kind: KindReport, ReqID: 7,
+		Reports: []*core.Report{conformanceReport(1)}}
+	frame := AppendFrame(nil, m)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	buf := make([]byte, 0, len(frame))
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], m)
+		if _, _, err := DecodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransport_SimSend measures typed sends through the sim
+// bridge, kernel drain included — the overhead migrated experiments pay
+// versus raw link.Send.
+func BenchmarkTransport_SimSend(b *testing.B) {
+	k := sim.NewKernel()
+	link := channel.New(channel.Config{Kernel: k, Latency: sim.Millisecond, Seed: 1})
+	tr := NewSim(link)
+	n := 0
+	tr.Bind("vrf", func(Msg) { n++ })
+	rep := []*core.Report{conformanceReport(2)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Send(Msg{From: "prv", To: "vrf", Kind: KindReport, Reports: rep})
+		k.Run()
+	}
+	if n != b.N {
+		b.Fatalf("delivered %d/%d", n, b.N)
+	}
+}
+
+// BenchmarkTransport_NetRoundTrip measures a reliable loopback
+// request/ack round trip: send a report, wait for delivery.
+func BenchmarkTransport_NetRoundTrip(b *testing.B) {
+	srv, err := Listen(NetConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String(), NetConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	delivered := make(chan struct{}, 1)
+	srv.Bind("vrf", func(Msg) { delivered <- struct{}{} })
+	rep := []*core.Report{conformanceReport(3)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Send(Msg{From: "prv", To: "vrf", Kind: KindReport, Reports: rep}); err != nil {
+			b.Fatal(err)
+		}
+		<-delivered
+	}
+}
+
+// BenchmarkTransport_NetThroughput measures sustained one-way reliable
+// message throughput with many requests in flight.
+func BenchmarkTransport_NetThroughput(b *testing.B) {
+	srv, err := Listen(NetConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String(), NetConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	var wg sync.WaitGroup
+	wg.Add(b.N)
+	srv.Bind("vrf", func(Msg) { wg.Done() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Send(Msg{From: "prv", To: "vrf", Kind: KindHello}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}

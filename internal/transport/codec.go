@@ -1,0 +1,335 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+)
+
+// The wire format. Every datagram is one frame:
+//
+//	0:2  magic "RA"
+//	2    version (currently 1)
+//	3    frame type: frameData | frameAck
+//	4:12 request ID (big endian)
+//
+// Ack frames end there. Data frames continue:
+//
+//	12   kind
+//	13   flags (bit 0: verdict OK)
+//	14:  from  (u16 length + bytes)
+//	     to    (u16 length + bytes)
+//	     payload (per kind, see below)
+//
+// Payloads: KindChallenge carries the nonce (u16+bytes); KindVerdict
+// carries the reason (u16+bytes, OK in flags); the report kinds carry
+// u16 report count followed by encoded reports; the remaining kinds
+// carry nothing. Only a report's *wire content* travels (§2.2: nonce,
+// round, counter, tag, timestamps, region, attached data blocks plus
+// the geometry the verifier recomputes against); simulation metadata
+// (coverage instants, traversal order) never crosses the wire.
+//
+// All multi-byte integers are big endian and all map-shaped content is
+// emitted in sorted order, so encoding is a pure function of the
+// message — equal messages produce equal bytes, which is what lets the
+// Net transport retransmit frames verbatim and receivers deduplicate
+// by request ID alone.
+
+const (
+	codecMagic0 = 'R'
+	codecMagic1 = 'A'
+	// CodecVersion is the current frame format version. Decoders reject
+	// frames from a different version instead of guessing.
+	CodecVersion = 1
+
+	frameData = 0
+	frameAck  = 1
+
+	headerLen = 12
+)
+
+// Decode limits: a frame that claims more elements than its bytes
+// could possibly hold is rejected before any allocation is sized by
+// attacker-controlled counts.
+const (
+	maxReports   = 1 << 14
+	maxDataEntry = 1 << 14
+)
+
+// AppendFrame encodes m as a data frame appended to dst.
+func AppendFrame(dst []byte, m *Msg) []byte {
+	dst = append(dst, codecMagic0, codecMagic1, CodecVersion, frameData)
+	dst = be64(dst, m.ReqID)
+	var flags byte
+	if m.OK {
+		flags |= 1
+	}
+	dst = append(dst, byte(m.Kind), flags)
+	dst = appendBytes16(dst, []byte(m.From))
+	dst = appendBytes16(dst, []byte(m.To))
+	switch m.Kind {
+	case KindChallenge:
+		dst = appendBytes16(dst, m.Nonce)
+	case KindVerdict:
+		dst = appendBytes16(dst, []byte(m.Reason))
+	case KindReport, KindCollection, KindSeedReport:
+		dst = be16(dst, uint16(len(m.Reports)))
+		for _, r := range m.Reports {
+			dst = appendReport(dst, r)
+		}
+	}
+	return dst
+}
+
+// AppendAck encodes an ack frame for reqID appended to dst.
+func AppendAck(dst []byte, reqID uint64) []byte {
+	dst = append(dst, codecMagic0, codecMagic1, CodecVersion, frameAck)
+	return be64(dst, reqID)
+}
+
+// DecodeFrame parses one frame. It returns the message for data
+// frames, or (nil, reqID, nil) for ack frames. Trailing bytes, bad
+// magic, unknown versions and truncated payloads are all errors — a
+// frame either parses completely or not at all.
+func DecodeFrame(b []byte) (*Msg, uint64, error) {
+	if len(b) < headerLen {
+		return nil, 0, fmt.Errorf("transport: frame truncated (%d bytes)", len(b))
+	}
+	if b[0] != codecMagic0 || b[1] != codecMagic1 {
+		return nil, 0, fmt.Errorf("transport: bad magic %#x%x", b[0], b[1])
+	}
+	if b[2] != CodecVersion {
+		return nil, 0, fmt.Errorf("transport: unsupported frame version %d", b[2])
+	}
+	reqID := binary.BigEndian.Uint64(b[4:12])
+	switch b[3] {
+	case frameAck:
+		if len(b) != headerLen {
+			return nil, 0, fmt.Errorf("transport: %d trailing bytes after ack", len(b)-headerLen)
+		}
+		return nil, reqID, nil
+	case frameData:
+	default:
+		return nil, 0, fmt.Errorf("transport: unknown frame type %d", b[3])
+	}
+	d := decoder{b: b, off: headerLen}
+	m := &Msg{ReqID: reqID}
+	kind := Kind(d.u8())
+	flags := d.u8()
+	if flags&^1 != 0 {
+		return nil, 0, fmt.Errorf("transport: unknown flag bits %#x", flags)
+	}
+	m.Kind = kind
+	m.OK = flags&1 != 0
+	m.From = string(d.bytes16())
+	m.To = string(d.bytes16())
+	switch kind {
+	case KindChallenge:
+		if n := d.bytes16(); len(n) > 0 {
+			m.Nonce = append([]byte(nil), n...)
+		}
+	case KindVerdict:
+		m.Reason = string(d.bytes16())
+	case KindReport, KindCollection, KindSeedReport:
+		n := int(d.u16())
+		if n > maxReports {
+			return nil, 0, fmt.Errorf("transport: report count %d exceeds limit", n)
+		}
+		if d.err == nil && n > 0 {
+			m.Reports = make([]*core.Report, 0, min(n, len(d.b)/8))
+			for i := 0; i < n && d.err == nil; i++ {
+				m.Reports = append(m.Reports, d.report())
+			}
+		}
+	case KindRelease, KindCollect, KindHello:
+	default:
+		return nil, 0, fmt.Errorf("transport: unknown message kind %d", uint8(kind))
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if d.off != len(b) {
+		return nil, 0, fmt.Errorf("transport: %d trailing bytes", len(b)-d.off)
+	}
+	return m, reqID, nil
+}
+
+// appendReport encodes one report's wire content deterministically.
+func appendReport(dst []byte, r *core.Report) []byte {
+	dst = appendBytes8(dst, []byte(r.Mechanism))
+	dst = appendBytes8(dst, []byte(r.Scheme))
+	dst = appendBytes16(dst, r.Nonce)
+	dst = be32(dst, uint32(r.Round))
+	dst = be64(dst, r.Counter)
+	dst = appendBytes16(dst, r.Tag)
+	dst = be64(dst, uint64(r.TS))
+	dst = be64(dst, uint64(r.TE))
+	dst = be32(dst, uint32(r.RegionStart))
+	dst = be32(dst, uint32(r.RegionCount))
+	var flags byte
+	if r.Incremental {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = be32(dst, uint32(r.BlockSize))
+	dst = be32(dst, uint32(r.NumBlocks))
+	dst = be16(dst, uint16(len(r.Data)))
+	if len(r.Data) > 0 {
+		blocks := make([]int, 0, len(r.Data))
+		for b := range r.Data {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		for _, b := range blocks {
+			dst = be32(dst, uint32(b))
+			dst = be16(dst, uint16(len(r.Data[b])))
+			dst = append(dst, r.Data[b]...)
+		}
+	}
+	return dst
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("transport: frame truncated at offset %d", d.off)
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+// take returns n raw bytes aliasing the frame buffer.
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes8() []byte  { return d.take(int(d.u8())) }
+func (d *decoder) bytes16() []byte { return d.take(int(d.u16())) }
+
+func (d *decoder) report() *core.Report {
+	r := &core.Report{}
+	r.Mechanism = core.MechanismID(d.bytes8())
+	r.Scheme = string(d.bytes8())
+	if n := d.bytes16(); len(n) > 0 {
+		r.Nonce = append([]byte(nil), n...)
+	}
+	r.Round = int(int32(d.u32()))
+	r.Counter = d.u64()
+	if t := d.bytes16(); len(t) > 0 {
+		r.Tag = append([]byte(nil), t...)
+	}
+	r.TS = sim.Time(d.u64())
+	r.TE = sim.Time(d.u64())
+	r.RegionStart = int(int32(d.u32()))
+	r.RegionCount = int(int32(d.u32()))
+	rflags := d.u8()
+	if rflags&^1 != 0 && d.err == nil {
+		d.err = fmt.Errorf("transport: unknown report flag bits %#x", rflags)
+	}
+	r.Incremental = rflags&1 != 0
+	r.BlockSize = int(int32(d.u32()))
+	r.NumBlocks = int(int32(d.u32()))
+	n := int(d.u16())
+	if n > maxDataEntry {
+		d.err = fmt.Errorf("transport: data entry count %d exceeds limit", n)
+		return r
+	}
+	if d.err == nil && n > 0 {
+		r.Data = make(map[int][]byte, n)
+		prev := 0
+		for i := 0; i < n && d.err == nil; i++ {
+			blk := int(int32(d.u32()))
+			content := d.bytes16()
+			if d.err != nil {
+				break
+			}
+			// The encoder emits entries sorted by block index, so any
+			// other order (or a duplicate index) is a non-canonical
+			// frame — reject it rather than silently renormalising.
+			if i > 0 && blk <= prev {
+				d.err = fmt.Errorf("transport: data blocks not in canonical order (%d after %d)", blk, prev)
+				break
+			}
+			prev = blk
+			r.Data[blk] = append([]byte(nil), content...)
+		}
+	}
+	return r
+}
+
+func be16(dst []byte, v uint16) []byte { return append(dst, byte(v>>8), byte(v)) }
+
+func be32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func be64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendBytes8(dst, b []byte) []byte {
+	if len(b) > 0xff {
+		b = b[:0xff]
+	}
+	return append(append(dst, byte(len(b))), b...)
+}
+
+func appendBytes16(dst, b []byte) []byte {
+	if len(b) > 0xffff {
+		b = b[:0xffff]
+	}
+	return append(be16(dst, uint16(len(b))), b...)
+}

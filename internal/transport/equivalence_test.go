@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+)
+
+// TestSimMatchesRawChannel pins the tentpole bit-identical property:
+// driving a lossy, jittery link through transport.Sim draws the same
+// randomness and produces the same deliveries, at the same simulated
+// instants, as driving the raw channel.Link directly. Existing
+// experiments migrated onto the transport therefore reproduce their
+// pinned results exactly.
+func TestSimMatchesRawChannel(t *testing.T) {
+	type delivery struct {
+		at   sim.Time
+		kind string
+		desc string
+	}
+
+	run := func(typed bool) ([]delivery, channel.Stats) {
+		k := sim.NewKernel()
+		link := channel.New(channel.Config{
+			Kernel:  k,
+			Latency: sim.Millisecond,
+			Jitter:  sim.Millisecond / 2,
+			Loss:    0.2,
+			Seed:    99,
+		})
+		var log []delivery
+		record := func(m channel.Message) {
+			log = append(log, delivery{at: k.Now(), kind: m.Kind, desc: payloadDesc(m.Payload)})
+		}
+		var tr *Sim
+		if typed {
+			tr = NewSim(link)
+			tr.Bind("vrf", func(m Msg) {
+				log = append(log, delivery{at: k.Now(), kind: m.Kind.ChannelKind(), desc: msgDesc(m)})
+			})
+			tr.Bind("prv", func(m Msg) {
+				log = append(log, delivery{at: k.Now(), kind: m.Kind.ChannelKind(), desc: msgDesc(m)})
+			})
+		} else {
+			link.Connect("vrf", record)
+			link.Connect("prv", record)
+		}
+
+		// The same traffic pattern both ways: challenges out, reports
+		// back, a collection sweep — every legacy payload shape.
+		for i := 0; i < 50; i++ {
+			nonce := []byte{byte(i), 0xaa}
+			rep := []*core.Report{conformanceReport(i % 5)}
+			if typed {
+				tr.Send(Msg{From: "vrf", To: "prv", Kind: KindChallenge, Nonce: nonce})
+				tr.Send(Msg{From: "prv", To: "vrf", Kind: KindReport, Reports: rep})
+				if i%10 == 0 {
+					tr.Send(Msg{From: "vrf", To: "prv", Kind: KindCollect})
+				}
+			} else {
+				link.Send("vrf", "prv", core.MsgChallenge, nonce)
+				link.Send("prv", "vrf", core.MsgReport, rep)
+				if i%10 == 0 {
+					link.Send("vrf", "prv", core.MsgCollect, nil)
+				}
+			}
+		}
+		k.Run()
+		return log, link.Stats()
+	}
+
+	rawLog, rawStats := run(false)
+	typedLog, typedStats := run(true)
+
+	if len(rawLog) != len(typedLog) {
+		t.Fatalf("delivery count differs: raw %d, typed %d", len(rawLog), len(typedLog))
+	}
+	for i := range rawLog {
+		if rawLog[i] != typedLog[i] {
+			t.Fatalf("delivery %d differs:\n raw   %+v\n typed %+v", i, rawLog[i], typedLog[i])
+		}
+	}
+	if rawStats.Sent != typedStats.Sent || rawStats.Delivered != typedStats.Delivered ||
+		rawStats.LostRandom != typedStats.LostRandom {
+		t.Fatalf("link stats differ:\n raw   %+v\n typed %+v", rawStats, typedStats)
+	}
+	for kind, rs := range rawStats.Kinds {
+		if typedStats.Kinds[kind] != rs {
+			t.Fatalf("per-kind stats for %q differ: raw %+v typed %+v", kind, rs, typedStats.Kinds[kind])
+		}
+	}
+	if rawStats.LostRandom == 0 {
+		t.Fatal("loss model never fired; equivalence not exercised")
+	}
+}
+
+func payloadDesc(p any) string {
+	switch v := p.(type) {
+	case nil:
+		return "nil"
+	case []byte:
+		return fmt.Sprintf("nonce:%x", v)
+	case []*core.Report:
+		return fmt.Sprintf("reports:%d:r%d", len(v), v[0].Round)
+	default:
+		return fmt.Sprintf("%T", p)
+	}
+}
+
+func msgDesc(m Msg) string {
+	switch m.Kind {
+	case KindChallenge:
+		return fmt.Sprintf("nonce:%x", m.Nonce)
+	case KindReport, KindCollection, KindSeedReport:
+		return fmt.Sprintf("reports:%d:r%d", len(m.Reports), m.Reports[0].Round)
+	default:
+		return "nil"
+	}
+}

@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	mrand "math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetConfig parameterizes a Net transport.
+type NetConfig struct {
+	// Addr is the UDP listen address; default "127.0.0.1:0" (loopback,
+	// kernel-assigned port).
+	Addr string
+	// RetryBase is the first retransmit delay for reliable sends;
+	// default 25 ms. Each retry doubles it, capped at RetryCap
+	// (default 400 ms) — capped exponential backoff.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// RequestTimeout is the per-request deadline: a reliable send that
+	// has not been acknowledged this long after submission stops
+	// retrying and counts as expired. Default 5 s.
+	RequestTimeout time.Duration
+	// DropRate injects independent datagram loss on the send path
+	// (testing the retry machinery without tc/netem); DropSeed makes
+	// the injected loss deterministic.
+	DropRate float64
+	DropSeed uint64
+	// Logf, if set, receives transport diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *NetConfig) withDefaults() NetConfig {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = "127.0.0.1:0"
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = 25 * time.Millisecond
+	}
+	if out.RetryCap <= 0 {
+		out.RetryCap = 400 * time.Millisecond
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 5 * time.Second
+	}
+	return out
+}
+
+// NetStats counts datagram-level outcomes.
+type NetStats struct {
+	Sent      uint64 // first transmissions
+	Resent    uint64 // retransmissions
+	Acked     uint64 // reliable sends confirmed by the peer
+	Expired   uint64 // reliable sends that hit the request deadline
+	Received  uint64 // data frames delivered to a handler
+	Dups      uint64 // data frames suppressed by request-ID dedup
+	NoHandler uint64 // data frames for an unbound endpoint
+	Injected  uint64 // datagrams dropped by the injected-loss model
+	Malformed uint64 // frames that failed to decode
+}
+
+// Net is a Transport over real UDP sockets. One Net owns one socket
+// and can host many named endpoints (a verifier daemon binds one name;
+// a fleet client binds thousands of prover names on a single socket).
+//
+// Reliability: a Send with ReqID != 0 (Send assigns one when zero) is
+// retransmitted with capped exponential backoff until the peer's ack
+// arrives or the per-request deadline expires. Receivers acknowledge
+// every data frame — duplicates included — and suppress re-delivery of
+// a (from, request ID) pair, so retries are idempotent end to end.
+// Routes are learned from inbound traffic (a daemon discovers each
+// prover's address from its first datagram) or pinned with AddRoute /
+// the Dial default route.
+//
+// Unlike Sim, Net is safe for concurrent use; handlers run on the
+// receive goroutine.
+type Net struct {
+	cfg  NetConfig
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	routes   map[string]*net.UDPAddr
+	def      *net.UDPAddr
+	pending  map[uint64]chan struct{} // reliable sends awaiting ack
+	dd       dedup
+	dropRNG  *mrand.Rand
+	closing  bool
+
+	reqID  atomic.Uint64
+	closed chan struct{}
+	wg     sync.WaitGroup
+	stats  struct {
+		sent, resent, acked, expired, received, dups, noHandler, injected, malformed atomic.Uint64
+	}
+}
+
+// Listen opens a Net transport on cfg.Addr.
+func Listen(cfg NetConfig) (*Net, error) {
+	cfg = cfg.withDefaults()
+	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", cfg.Addr, err)
+	}
+	n := &Net{
+		cfg:      cfg,
+		conn:     conn,
+		handlers: map[string]Handler{},
+		routes:   map[string]*net.UDPAddr{},
+		pending:  map[uint64]chan struct{}{},
+		closed:   make(chan struct{}),
+	}
+	if cfg.DropRate > 0 {
+		n.dropRNG = mrand.New(mrand.NewPCG(cfg.DropSeed, 0xd809))
+	}
+	// Random starting request ID: IDs stay unique across process
+	// restarts, so a rebooted peer cannot collide into the receiver's
+	// dedup window.
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		n.reqID.Store(binary.BigEndian.Uint64(b[:]) | 1)
+	} else {
+		n.reqID.Store(uint64(time.Now().UnixNano()) | 1)
+	}
+	n.wg.Add(1)
+	go n.readLoop()
+	return n, nil
+}
+
+// Dial opens a client Net on an ephemeral loopback port and routes
+// every destination without an explicit route to addr — the shape a
+// prover uses to reach a verifier daemon.
+func Dial(addr string, cfg NetConfig) (*Net, error) {
+	n, err := Listen(cfg)
+	if err != nil {
+		return nil, err
+	}
+	udp, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		n.Close()
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	n.mu.Lock()
+	n.def = udp
+	n.mu.Unlock()
+	return n, nil
+}
+
+// Addr returns the bound socket address (useful with ":0").
+func (n *Net) Addr() net.Addr { return n.conn.LocalAddr() }
+
+// AddRoute pins a static name -> address route.
+func (n *Net) AddRoute(name, addr string) error {
+	udp, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	n.mu.Lock()
+	n.routes[name] = udp
+	n.mu.Unlock()
+	return nil
+}
+
+// Bind implements Transport.
+func (n *Net) Bind(name string, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil handler for %q", name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closing {
+		return errors.New("transport: net closed")
+	}
+	n.handlers[name] = h
+	return nil
+}
+
+// Unbind implements Transport.
+func (n *Net) Unbind(name string) {
+	n.mu.Lock()
+	delete(n.handlers, name)
+	n.mu.Unlock()
+}
+
+// Send implements Transport. It assigns a fresh request ID when
+// m.ReqID is zero, transmits the frame, and retries with backoff until
+// acked or the request deadline passes. Send itself does not block on
+// delivery.
+func (n *Net) Send(m Msg) error {
+	if m.Kind == KindInvalid || m.Kind >= kindMax {
+		return fmt.Errorf("transport: cannot send kind %v", m.Kind)
+	}
+	if m.ReqID == 0 {
+		m.ReqID = n.reqID.Add(1)
+	}
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return errors.New("transport: net closed")
+	}
+	dst := n.routes[m.To]
+	if dst == nil {
+		dst = n.def
+	}
+	if dst == nil {
+		n.mu.Unlock()
+		return fmt.Errorf("transport: no route to %q", m.To)
+	}
+	acked := make(chan struct{})
+	n.pending[m.ReqID] = acked
+	n.mu.Unlock()
+
+	frame := AppendFrame(nil, &m)
+	n.transmit(frame, dst, false)
+	n.wg.Add(1)
+	go n.retryLoop(m.ReqID, frame, dst, acked)
+	return nil
+}
+
+// retryLoop retransmits frame until ack, deadline, or shutdown.
+func (n *Net) retryLoop(reqID uint64, frame []byte, dst *net.UDPAddr, acked chan struct{}) {
+	defer n.wg.Done()
+	deadline := time.Now().Add(n.cfg.RequestTimeout)
+	delay := n.cfg.RetryBase
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	for {
+		select {
+		case <-acked:
+			n.stats.acked.Add(1)
+			return
+		case <-n.closed:
+			n.forget(reqID)
+			return
+		case <-timer.C:
+		}
+		if !time.Now().Before(deadline) {
+			n.stats.expired.Add(1)
+			n.forget(reqID)
+			if n.cfg.Logf != nil {
+				n.cfg.Logf("transport: request %d to %s expired", reqID, dst)
+			}
+			return
+		}
+		n.transmit(frame, dst, true)
+		delay *= 2
+		if delay > n.cfg.RetryCap {
+			delay = n.cfg.RetryCap
+		}
+		timer.Reset(delay)
+	}
+}
+
+func (n *Net) forget(reqID uint64) {
+	n.mu.Lock()
+	delete(n.pending, reqID)
+	n.mu.Unlock()
+}
+
+// transmit writes one datagram, applying injected loss.
+func (n *Net) transmit(frame []byte, dst *net.UDPAddr, retry bool) {
+	if n.dropRNG != nil {
+		n.mu.Lock()
+		drop := n.dropRNG.Float64() < n.cfg.DropRate
+		n.mu.Unlock()
+		if drop {
+			n.stats.injected.Add(1)
+			return
+		}
+	}
+	if retry {
+		n.stats.resent.Add(1)
+	} else {
+		n.stats.sent.Add(1)
+	}
+	n.conn.WriteToUDP(frame, dst)
+}
+
+func (n *Net) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64<<10)
+	ack := make([]byte, 0, headerLen)
+	for {
+		sz, from, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			if n.cfg.Logf != nil {
+				n.cfg.Logf("transport: read: %v", err)
+			}
+			continue
+		}
+		m, reqID, err := DecodeFrame(buf[:sz])
+		if err != nil {
+			n.stats.malformed.Add(1)
+			continue
+		}
+		if m == nil { // ack frame
+			n.mu.Lock()
+			ch := n.pending[reqID]
+			delete(n.pending, reqID)
+			n.mu.Unlock()
+			if ch != nil {
+				close(ch)
+			}
+			continue
+		}
+		// Data frame: ack it (duplicates included — the peer may have
+		// missed our first ack), learn the sender's route, dedup,
+		// dispatch. Acks run through the injected-loss model too: a
+		// lost ack is exactly what forces the duplicate-suppression
+		// path.
+		ack = AppendAck(ack[:0], reqID)
+		dropAck := false
+		if n.dropRNG != nil {
+			n.mu.Lock()
+			dropAck = n.dropRNG.Float64() < n.cfg.DropRate
+			n.mu.Unlock()
+		}
+		if dropAck {
+			n.stats.injected.Add(1)
+		} else {
+			n.conn.WriteToUDP(ack, from)
+		}
+		n.mu.Lock()
+		if r := n.routes[m.From]; r == nil || !r.IP.Equal(from.IP) || r.Port != from.Port {
+			n.routes[m.From] = from
+		}
+		dup := m.ReqID != 0 && n.dd.seen(m.From, m.ReqID)
+		var h Handler
+		if !dup {
+			h = n.handlers[m.To]
+		}
+		n.mu.Unlock()
+		if dup {
+			n.stats.dups.Add(1)
+			continue
+		}
+		if h == nil {
+			n.stats.noHandler.Add(1)
+			continue
+		}
+		n.stats.received.Add(1)
+		h(*m)
+	}
+}
+
+// Drain blocks until every reliable send has been acked or expired, or
+// the timeout passes. Zero timeout uses the request deadline.
+func (n *Net) Drain(timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = n.cfg.RequestTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		n.mu.Lock()
+		left := len(n.pending)
+		n.mu.Unlock()
+		if left == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close implements Transport: it stops accepting new sends, drains
+// in-flight reliable sends (bounded by the request deadline), then
+// closes the socket and joins the retry and receive goroutines.
+func (n *Net) Close() error {
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closing = true
+	n.mu.Unlock()
+	n.Drain(0)
+	close(n.closed)
+	err := n.conn.Close()
+	n.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of datagram counters.
+func (n *Net) Stats() NetStats {
+	return NetStats{
+		Sent:      n.stats.sent.Load(),
+		Resent:    n.stats.resent.Load(),
+		Acked:     n.stats.acked.Load(),
+		Expired:   n.stats.expired.Load(),
+		Received:  n.stats.received.Load(),
+		Dups:      n.stats.dups.Load(),
+		NoHandler: n.stats.noHandler.Load(),
+		Injected:  n.stats.injected.Load(),
+		Malformed: n.stats.malformed.Load(),
+	}
+}

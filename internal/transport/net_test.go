@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNetLossRetrySurvival pins the reliability contract: under heavy
+// injected datagram loss on both sides (data frames and acks alike),
+// every reliable send is still delivered exactly once.
+func TestNetLossRetrySurvival(t *testing.T) {
+	const drop = 0.25
+	srv, err := Listen(NetConfig{DropRate: drop, DropSeed: 1, RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String(), NetConfig{DropRate: drop, DropSeed: 2, RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const total = 200
+	var mu sync.Mutex
+	got := map[uint64]int{}
+	if err := srv.Bind("vrf", func(m Msg) {
+		mu.Lock()
+		got[m.ReqID]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= total; i++ {
+		if err := cli.Send(Msg{From: "prv", To: "vrf", Kind: KindHello, ReqID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == total {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != total {
+		t.Fatalf("delivered %d/%d distinct requests under %.0f%% loss", len(got), total, drop*100)
+	}
+	for id, count := range got {
+		if count != 1 {
+			t.Fatalf("request %d delivered %d times", id, count)
+		}
+	}
+	cs, ss := cli.Stats(), srv.Stats()
+	if cs.Resent == 0 {
+		t.Fatalf("no retransmissions under %.0f%% injected loss: %+v", drop*100, cs)
+	}
+	if cs.Injected == 0 && ss.Injected == 0 {
+		t.Fatalf("loss model never fired: cli %+v srv %+v", cs, ss)
+	}
+}
+
+// TestNetDrainCompletes pins graceful drain: after Drain returns with
+// loss in play, no reliable send is still pending.
+func TestNetDrainCompletes(t *testing.T) {
+	srv, err := Listen(NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String(), NetConfig{DropRate: 0.3, DropSeed: 3, RetryBase: 2 * time.Millisecond, RetryCap: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv.Bind("vrf", func(Msg) {})
+	for i := 0; i < 50; i++ {
+		if err := cli.Send(Msg{From: "prv", To: "vrf", Kind: KindHello}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli.Drain(5 * time.Second)
+	cli.mu.Lock()
+	left := len(cli.pending)
+	cli.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d requests still pending after drain", left)
+	}
+	if s := cli.Stats(); s.Acked != 50 {
+		t.Fatalf("acked %d/50 after drain: %+v", s.Acked, s)
+	}
+}
+
+// TestNetRequestExpiry pins the per-request deadline: a peer that never
+// acks makes the send expire instead of retrying forever.
+func TestNetRequestExpiry(t *testing.T) {
+	cli, err := Listen(NetConfig{RetryBase: 2 * time.Millisecond, RetryCap: 10 * time.Millisecond, RequestTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Dead peer: grab a kernel-assigned port, then close it. Sends to
+	// the address succeed at the UDP layer but nothing ever acks.
+	dead, err := Listen(NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr().String()
+	dead.Close()
+	if err := cli.AddRoute("vrf", addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send(Msg{From: "prv", To: "vrf", Kind: KindHello}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cli.Stats().Expired == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s := cli.Stats(); s.Expired != 1 || s.Acked != 0 {
+		t.Fatalf("expected one expired request: %+v", s)
+	}
+	cli.mu.Lock()
+	left := len(cli.pending)
+	cli.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("expired request still pending")
+	}
+}
+
+// TestNetNoRoute pins the error path for an unroutable destination on a
+// transport with no default route.
+func TestNetNoRoute(t *testing.T) {
+	n, err := Listen(NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Send(Msg{From: "a", To: "nowhere", Kind: KindHello}); err == nil {
+		t.Fatal("send to unroutable name succeeded")
+	}
+}
+
+// TestNetConcurrentSenders exercises the socket, dedup window and
+// pending map from many goroutines at once (meaningful under -race).
+func TestNetConcurrentSenders(t *testing.T) {
+	srv, err := Listen(NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String(), NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var mu sync.Mutex
+	seen := map[string]int{}
+	srv.Bind("vrf", func(m Msg) {
+		mu.Lock()
+		seen[m.From]++
+		mu.Unlock()
+	})
+	const workers, each = 16, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			from := fmt.Sprintf("prv%03d", w)
+			for i := 0; i < each; i++ {
+				if err := cli.Send(Msg{From: from, To: "vrf", Kind: KindHello}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cli.Drain(5 * time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	if len(seen) != workers || total != workers*each {
+		t.Fatalf("delivered %d msgs from %d senders, want %d from %d", total, len(seen), workers*each, workers)
+	}
+}

@@ -1,0 +1,43 @@
+package verifier
+
+import (
+	"saferatt/internal/core"
+	"saferatt/internal/transport"
+)
+
+// Attach binds the verifier to a Transport endpoint under its own name
+// and routes outbound protocol messages through it. Inbound typed
+// messages dispatch to the same handlers the raw channel path uses, so
+// a verifier behaves identically whether it is wired to a channel.Link
+// or to a transport backend (including transport.Net on real sockets).
+func (v *Verifier) Attach(tr transport.Transport) error {
+	if err := tr.Bind(v.Name, func(m transport.Msg) {
+		switch m.Kind {
+		case transport.KindReport:
+			v.HandleReports(m.From, m.Reports)
+		case transport.KindCollection:
+			v.HandleCollection(m.From, m.Reports)
+		case transport.KindSeedReport:
+			v.HandleSeedReports(m.From, m.Reports)
+		}
+	}); err != nil {
+		return err
+	}
+	v.port = transportPort{tr}
+	return nil
+}
+
+// transportPort adapts a Transport to the Port send surface, lifting
+// legacy (kind string, payload any) sends into typed messages.
+type transportPort struct{ tr transport.Transport }
+
+func (p transportPort) Send(from, to, kind string, payload any) {
+	m := transport.Msg{From: from, To: to, Kind: transport.KindOfChannel(kind)}
+	switch pl := payload.(type) {
+	case []byte:
+		m.Nonce = pl
+	case []*core.Report:
+		m.Reports = pl
+	}
+	p.tr.Send(m)
+}

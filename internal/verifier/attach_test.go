@@ -1,0 +1,57 @@
+package verifier
+
+import (
+	"testing"
+
+	"saferatt/internal/channel"
+	"saferatt/internal/core"
+	"saferatt/internal/sim"
+	"saferatt/internal/suite"
+	"saferatt/internal/transport"
+)
+
+// TestAttachRoundTrip runs a full SMART round with the verifier wired
+// through a transport.Sim instead of the raw link — against a legacy
+// prover that still speaks channel payloads. Challenge and report both
+// cross the typed boundary; results must match the raw-link path.
+func TestAttachRoundTrip(t *testing.T) {
+	opts := core.Preset(core.SMART, suite.SHA256)
+	w := newWorld(t, opts, channel.Config{Latency: 5 * sim.Millisecond})
+	if _, err := core.NewProver("prv", w.dev, w.link, opts, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.v.Attach(transport.NewSim(w.link)); err != nil {
+		t.Fatal(err)
+	}
+	w.v.Challenge("prv")
+	w.k.Run()
+
+	res, ok := w.v.LastResult()
+	if !ok || !res.OK {
+		t.Fatalf("clean device rejected through transport: %+v", res)
+	}
+	if c := w.v.Counts(); c.Accepted == 0 || c.Rejected != 0 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+// TestAttachDetectsInfection pins that the typed path still rejects a
+// modified image.
+func TestAttachDetectsInfection(t *testing.T) {
+	opts := core.Preset(core.SMART, suite.SHA256)
+	w := newWorld(t, opts, channel.Config{})
+	if _, err := core.NewProver("prv", w.dev, w.link, opts, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.v.Attach(transport.NewSim(w.link)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.m.Poke(2*256+7, 0xEE); err != nil {
+		t.Fatal(err)
+	}
+	w.v.Challenge("prv")
+	w.k.Run()
+	if !w.v.Detected() {
+		t.Fatal("infection not detected through transport")
+	}
+}

@@ -24,10 +24,19 @@ import (
 // blocks vary per device and are not batchable; callers route them to
 // the ordinary per-report path (see swarm.Collector.Judge).
 //
-// Expected tags are cached per nonce epoch: a nonce different from the
-// previous report's clears the cache, so memory stays bounded by the
-// number of (key, round, mode) groups inside one round.
+// Expected tags are cached per nonce epoch: by default a nonce
+// different from the previous report's clears the cache, so memory
+// stays bounded by the number of (key, round, mode) groups inside one
+// round. Streams that interleave reports from several epochs — a
+// daemon ingesting ERASMUS collections, where each self-measurement
+// carries its own counter-derived nonce — set KeepEpochs to retain
+// that many epochs' groups (evicted oldest-first) instead of thrashing
+// the cache on every nonce change.
 type Batch struct {
+	// KeepEpochs bounds how many nonce epochs of expected tags stay
+	// cached at once. Zero or one keeps the single-epoch behavior.
+	KeepEpochs int
+
 	hash      suite.HashID
 	ref       []byte
 	blockSize int
@@ -35,7 +44,9 @@ type Batch struct {
 	golden    *inccache.ImageCache // lazily built for incremental reports
 	epoch     []byte               // nonce the cached groups belong to
 	expected  map[groupKey][]byte  // group -> expected tag
-	order     []int                // traversal-order scratch
+	epochs    map[string]map[groupKey][]byte
+	epochLRU  []string // insertion order for eviction
+	order     []int    // traversal-order scratch
 	stats     BatchStats
 }
 
@@ -88,23 +99,47 @@ func (b *Batch) Verify(key []byte, r *core.Report, shuffled bool) (bool, error) 
 	if r.RegionCount > 0 || r.Data != nil {
 		return false, fmt.Errorf("verifier: region/data reports are not batchable")
 	}
-	if !bytes.Equal(r.Nonce, b.epoch) {
-		clear(b.expected)
-		b.epoch = append(b.epoch[:0], r.Nonce...)
-	}
+	groups := b.groups(r.Nonce)
 	k := groupKey{key: string(key), round: r.Round, shuffled: shuffled, incremental: r.Incremental}
-	exp, ok := b.expected[k]
+	exp, ok := groups[k]
 	if !ok {
 		var err error
 		exp, err = b.compute(key, r, shuffled)
 		if err != nil {
 			return false, err
 		}
-		b.expected[k] = exp
+		groups[k] = exp
 		b.stats.Computed++
 	}
 	b.stats.Reports++
 	return hmac.Equal(exp, r.Tag), nil
+}
+
+// groups returns the expected-tag cache for the given nonce epoch,
+// evicting per KeepEpochs.
+func (b *Batch) groups(nonce []byte) map[groupKey][]byte {
+	if b.KeepEpochs <= 1 {
+		if !bytes.Equal(nonce, b.epoch) {
+			clear(b.expected)
+			b.epoch = append(b.epoch[:0], nonce...)
+		}
+		return b.expected
+	}
+	if b.epochs == nil {
+		b.epochs = make(map[string]map[groupKey][]byte, b.KeepEpochs)
+	}
+	e := string(nonce)
+	g := b.epochs[e]
+	if g == nil {
+		g = map[groupKey][]byte{}
+		b.epochs[e] = g
+		b.epochLRU = append(b.epochLRU, e)
+		if len(b.epochLRU) > b.KeepEpochs {
+			delete(b.epochs, b.epochLRU[0])
+			b.epochLRU = b.epochLRU[1:]
+		}
+	}
+	return g
 }
 
 // compute produces the expected tag for a group, streaming golden

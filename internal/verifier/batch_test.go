@@ -169,3 +169,64 @@ func TestBatchRejectsUnbatchable(t *testing.T) {
 		t.Fatal("geometry mismatch accepted by batch")
 	}
 }
+
+// TestBatchKeepEpochs pins the multi-epoch cache: a stream that
+// interleaves nonce epochs — a daemon ingesting ERASMUS collections,
+// each self-measurement carrying its own counter-derived nonce —
+// thrashes the single-epoch cache but amortizes fully with KeepEpochs.
+func TestBatchKeepEpochs(t *testing.T) {
+	g, opts := batchWorld(t)
+	nonces := [][]byte{[]byte("epoch-a"), []byte("epoch-b")}
+	var reps []*core.Report
+	var key []byte
+	for _, nonce := range nonces {
+		m := mem.NewShared(g, mem.SharedConfig{})
+		var rep *core.Report
+		rep, key = measureOnce(t, m, opts, nonce, 0)
+		reps = append(reps, rep)
+	}
+	verifyInterleaved := func(b *Batch) BatchStats {
+		for i := 0; i < 4; i++ {
+			for _, rep := range reps {
+				ok, err := b.Verify(key, rep, false)
+				if err != nil || !ok {
+					t.Fatalf("clean report rejected: ok=%v err=%v", ok, err)
+				}
+			}
+		}
+		return b.Stats()
+	}
+
+	single := verifyInterleaved(NewBatchGolden(suite.SHA256, g))
+	if single.Computed != 8 {
+		t.Fatalf("single-epoch cache computed %d tags, want 8 (thrash)", single.Computed)
+	}
+	multi := NewBatchGolden(suite.SHA256, g)
+	multi.KeepEpochs = 2
+	ms := verifyInterleaved(multi)
+	if ms.Computed != 2 {
+		t.Fatalf("KeepEpochs=2 computed %d tags, want 2", ms.Computed)
+	}
+	if ms.Reports != 8 {
+		t.Fatalf("reports %d, want 8", ms.Reports)
+	}
+
+	// Eviction stays bounded: with KeepEpochs=1 semantics forced via the
+	// LRU (capacity 1 < number of live epochs), recomputation returns.
+	lru := NewBatchGolden(suite.SHA256, g)
+	lru.KeepEpochs = 2
+	third := func() *core.Report {
+		m := mem.NewShared(g, mem.SharedConfig{})
+		rep, _ := measureOnce(t, m, opts, []byte("epoch-c"), 0)
+		return rep
+	}()
+	for _, rep := range []*core.Report{reps[0], reps[1], third, reps[0]} {
+		if ok, err := lru.Verify(key, rep, false); err != nil || !ok {
+			t.Fatalf("clean report rejected: ok=%v err=%v", ok, err)
+		}
+	}
+	// a, b, c computed; c evicted a; the final a is recomputed -> 4.
+	if s := lru.Stats(); s.Computed != 4 {
+		t.Fatalf("eviction path computed %d tags, want 4", s.Computed)
+	}
+}

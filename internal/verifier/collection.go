@@ -20,8 +20,11 @@ type CollectionPolicy struct {
 	Slack sim.Duration
 }
 
-// handleCollection validates an ERASMUS history message.
-func (v *Verifier) handleCollection(prover string, reports []*core.Report) {
+// HandleCollection validates an ERASMUS history message under the
+// default policy. It is the transport-agnostic entry point behind the
+// "collection" message kind; callers with cadence expectations use
+// ValidateCollection directly.
+func (v *Verifier) HandleCollection(prover string, reports []*core.Report) {
 	v.ValidateCollection(prover, reports, CollectionPolicy{})
 }
 

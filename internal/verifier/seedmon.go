@@ -72,8 +72,9 @@ func (m *SeedMonitor) armWatchdog() {
 	})
 }
 
-// handleSeedReports processes an unsolicited SeED report bundle.
-func (v *Verifier) handleSeedReports(prover string, reports []*core.Report) {
+// HandleSeedReports processes an unsolicited SeED report bundle. It is
+// the transport-agnostic entry point behind the "seed-report" kind.
+func (v *Verifier) HandleSeedReports(prover string, reports []*core.Report) {
 	m := v.seedMons[prover]
 	for _, r := range reports {
 		res := v.verifyOne(prover, r, nil)

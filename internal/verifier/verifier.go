@@ -41,11 +41,20 @@ type Counts struct {
 	Missing  int // expected-but-absent reports (SeED watchdog)
 }
 
+// Port is the minimal send surface the verifier needs: fire one
+// protocol message toward a named endpoint. *channel.Link satisfies it
+// directly; transport-backed ports adapt typed messages (see Attach).
+type Port interface {
+	Send(from, to, kind string, payload any)
+}
+
 // Verifier is Vrf.
 type Verifier struct {
 	Name   string
 	Kernel *sim.Kernel
 	Link   *channel.Link
+	// port carries outbound protocol messages; defaults to Link.
+	port Port
 	// Scheme mirrors the prover's tagging scheme; in MAC mode Key is
 	// the shared attestation key.
 	Scheme suite.Scheme
@@ -83,9 +92,12 @@ type pendingChallenge struct {
 
 // Config assembles a Verifier.
 type Config struct {
-	Name    string // defaults to "verifier"
-	Kernel  *sim.Kernel
-	Link    *channel.Link
+	Name   string // defaults to "verifier"
+	Kernel *sim.Kernel
+	Link   *channel.Link
+	// Port carries outbound messages when no Link is given (a
+	// transport-agnostic verifier); ignored when Link is set.
+	Port    Port
 	Scheme  suite.Scheme
 	PermKey []byte
 	Ref     []byte
@@ -93,10 +105,10 @@ type Config struct {
 	Trace   *trace.Log
 }
 
-// New builds a Verifier and connects it to the link.
+// New builds a Verifier and connects it to the link (or Port).
 func New(cfg Config) (*Verifier, error) {
-	if cfg.Kernel == nil || cfg.Link == nil {
-		return nil, fmt.Errorf("verifier: Kernel and Link are required")
+	if cfg.Kernel == nil || (cfg.Link == nil && cfg.Port == nil) {
+		return nil, fmt.Errorf("verifier: Kernel and Link (or Port) are required")
 	}
 	if err := cfg.Scheme.Validate(); err != nil {
 		return nil, fmt.Errorf("verifier: %w", err)
@@ -109,13 +121,16 @@ func New(cfg Config) (*Verifier, error) {
 		name = "verifier"
 	}
 	v := &Verifier{
-		Name: name, Kernel: cfg.Kernel, Link: cfg.Link,
+		Name: name, Kernel: cfg.Kernel, Link: cfg.Link, port: cfg.Port,
 		Scheme: cfg.Scheme, PermKey: cfg.PermKey, Ref: cfg.Ref,
 		Opts: cfg.Opts, Trace: cfg.Trace,
 		pending: map[string]pendingChallenge{},
 		seen:    map[string]map[uint64]bool{},
 	}
-	cfg.Link.Connect(name, v.onMessage)
+	if cfg.Link != nil {
+		v.port = cfg.Link
+		cfg.Link.Connect(name, v.onMessage)
+	}
 	return v, nil
 }
 
@@ -126,18 +141,18 @@ func (v *Verifier) Challenge(prover string) []byte {
 	nonce := nonceBytes(v.PermKey, v.nonceCtr)
 	v.pending[prover] = pendingChallenge{nonce: nonce, sentAt: v.Kernel.Now()}
 	v.Trace.Add(v.Kernel.Now(), trace.KindRequestSent, v.Name, "to "+prover)
-	v.Link.Send(v.Name, prover, core.MsgChallenge, nonce)
+	v.port.Send(v.Name, prover, core.MsgChallenge, nonce)
 	return nonce
 }
 
 // Release asks a prover to drop extended locks (defines t_r).
 func (v *Verifier) Release(prover string) {
-	v.Link.Send(v.Name, prover, core.MsgRelease, nil)
+	v.port.Send(v.Name, prover, core.MsgRelease, nil)
 }
 
 // Collect requests an ERASMUS prover's stored measurement history.
 func (v *Verifier) Collect(prover string) {
-	v.Link.Send(v.Name, prover, core.MsgCollect, nil)
+	v.port.Send(v.Name, prover, core.MsgCollect, nil)
 }
 
 func nonceBytes(key []byte, ctr uint64) []byte {
@@ -152,32 +167,25 @@ func nonceBytes(key []byte, ctr uint64) []byte {
 }
 
 func (v *Verifier) onMessage(m channel.Message) {
+	reports, ok := m.Payload.([]*core.Report)
+	if !ok {
+		return
+	}
 	switch m.Kind {
 	case core.MsgReport:
-		v.Trace.Add(v.Kernel.Now(), trace.KindReportReceived, v.Name, "from "+m.From)
-		reports, ok := m.Payload.([]*core.Report)
-		if !ok {
-			return
-		}
-		v.handleOnDemandReports(m.From, reports)
+		v.HandleReports(m.From, reports)
 	case core.MsgCollection:
-		reports, ok := m.Payload.([]*core.Report)
-		if !ok {
-			return
-		}
-		v.handleCollection(m.From, reports)
+		v.HandleCollection(m.From, reports)
 	case core.MsgSeedReport:
-		reports, ok := m.Payload.([]*core.Report)
-		if !ok {
-			return
-		}
-		v.handleSeedReports(m.From, reports)
+		v.HandleSeedReports(m.From, reports)
 	}
 }
 
-// handleOnDemandReports validates a challenge response: every round's
-// report must carry the outstanding nonce and a correct tag.
-func (v *Verifier) handleOnDemandReports(prover string, reports []*core.Report) {
+// HandleReports validates a challenge response: every round's report
+// must carry the outstanding nonce and a correct tag. It is the
+// transport-agnostic entry point behind the "report" message kind.
+func (v *Verifier) HandleReports(prover string, reports []*core.Report) {
+	v.Trace.Add(v.Kernel.Now(), trace.KindReportReceived, v.Name, "from "+prover)
 	pc, ok := v.pending[prover]
 	if !ok {
 		v.record(Result{Prover: prover, At: v.Kernel.Now(), OK: false,

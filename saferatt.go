@@ -40,14 +40,17 @@ import (
 	"saferatt/internal/core"
 	"saferatt/internal/costmodel"
 	"saferatt/internal/device"
+	"saferatt/internal/engine"
 	"saferatt/internal/experiments"
 	"saferatt/internal/malware"
 	"saferatt/internal/mem"
 	"saferatt/internal/qoa"
+	"saferatt/internal/rattd"
 	"saferatt/internal/safety"
 	"saferatt/internal/sim"
 	"saferatt/internal/suite"
 	"saferatt/internal/trace"
+	"saferatt/internal/transport"
 	"saferatt/internal/verifier"
 )
 
@@ -147,7 +150,8 @@ func NewScenario(cfg ScenarioConfig) *Scenario {
 		opts.Rounds = cfg.Rounds
 	}
 	w := experiments.NewWorld(experiments.WorldConfig{
-		Seed: cfg.Seed, MemSize: cfg.MemSize, BlockSize: cfg.BlockSize,
+		EngineConfig: experiments.EngineConfig{Seed: cfg.Seed},
+		MemSize:      cfg.MemSize, BlockSize: cfg.BlockSize,
 		ROMBlocks: 1, Opts: opts, Latency: cfg.Latency, Loss: cfg.Loss,
 	})
 	prio := cfg.MPPrio
@@ -250,6 +254,50 @@ func (s *Scenario) NewFireAlarm(cfg safety.Config) *safety.FireAlarm {
 	}
 	return safety.NewFireAlarm(s.Device, cfg)
 }
+
+// Transport-abstracted attestation: the same typed protocol surface
+// runs over the deterministic simulated link and over real UDP
+// sockets (see internal/transport), and a networked verifier daemon
+// serves it (see internal/rattd and cmd/rattd).
+type (
+	// Transport moves typed protocol messages between named endpoints;
+	// Sim (virtual time) and Net (UDP) satisfy the same conformance
+	// suite.
+	Transport = transport.Transport
+	// Msg is one typed protocol message (challenge, report bundle,
+	// verdict, ...).
+	Msg = transport.Msg
+	// Kind names a protocol message kind (transport.KindChallenge,
+	// transport.KindReport, ...).
+	Kind = transport.Kind
+	// NetConfig tunes the UDP transport (address, retry pacing,
+	// injected loss).
+	NetConfig = transport.NetConfig
+	// DaemonConfig configures Serve (golden image, freshness windows,
+	// batch amortization).
+	DaemonConfig = rattd.Config
+	// Daemon is a running verifier daemon.
+	Daemon = rattd.Server
+	// EngineConfig is the engine-knob block (Seed, Parallelism,
+	// KernelBackend, NoTrace) embedded in the experiment and fleet
+	// configs.
+	EngineConfig = engine.Config
+)
+
+// Listen opens a UDP transport serving cfg.Addr (":0" for ephemeral).
+func Listen(cfg NetConfig) (*transport.Net, error) { return transport.Listen(cfg) }
+
+// Dial opens a UDP transport whose unrouted sends default to addr.
+func Dial(addr string, cfg NetConfig) (*transport.Net, error) { return transport.Dial(addr, cfg) }
+
+// NewSimTransport wraps a simulated link in the Transport interface;
+// traffic is bit-identical to driving the link directly.
+func NewSimTransport(link *channel.Link) *transport.Sim { return transport.NewSim(link) }
+
+// Serve starts a verifier daemon on tr — SMART challenge/response,
+// ERASMUS collection ingestion and SeED monitoring with §3.3 replay
+// protection. The same daemon code runs over Sim and Net transports.
+func Serve(tr Transport, cfg DaemonConfig) (*rattd.Server, error) { return rattd.Serve(tr, cfg) }
 
 // Profile returns the calibrated ODROID-XU4 cost model (the paper's
 // evaluation platform).

@@ -33,10 +33,21 @@ func main() {
 		drop     = flag.Float64("drop", 0, "injected datagram loss rate (testing)")
 		verbose  = flag.Bool("v", false, "log every verification decision")
 		statsSec = flag.Int("stats", 30, "stats print interval in seconds (0 = only on exit)")
+
+		recvLoops  = flag.Int("recv-loops", 0, "socket receive goroutines (0 = default)")
+		recvQueues = flag.Int("recv-queues", 0, "receive dispatch shards (0 = default)")
+		queueCap   = flag.Int("queue-cap", 0, "per-shard receive queue capacity (0 = default)")
+		batchBytes = flag.Int("batch-bytes", 0, "batch datagram size budget (0 = default, <0 disables coalescing)")
+		coalesce   = flag.Duration("coalesce", 0, "max delay a queued send waits for a batch (0 = default, <0 disables)")
+		maxBatch   = flag.Int("max-batch", 0, "messages per batch datagram cap (0 = default)")
 	)
 	flag.Parse()
 
-	tr, err := transport.Listen(transport.NetConfig{Addr: *addr, DropRate: *drop})
+	tr, err := transport.Listen(transport.NetConfig{
+		Addr: *addr, DropRate: *drop,
+		RecvLoops: *recvLoops, RecvQueues: *recvQueues, QueueCap: *queueCap,
+		BatchBytes: *batchBytes, CoalesceDelay: *coalesce, MaxBatch: *maxBatch,
+	})
 	if err != nil {
 		log.Fatalf("rattd: %v", err)
 	}
@@ -60,9 +71,9 @@ func main() {
 		c := srv.Counts()
 		b := srv.BatchStats()
 		n := tr.Stats()
-		log.Printf("rattd: challenges=%d accepted=%d rejected=%d replays=%d | batch reports=%d computed=%d | net rx=%d dup=%d malformed=%d",
+		log.Printf("rattd: challenges=%d accepted=%d rejected=%d replays=%d | batch reports=%d computed=%d | net rx=%d dup=%d malformed=%d qdrop=%d batches rx=%d tx=%d coalesced=%d",
 			c.Challenges, c.Accepted, c.Rejected, c.Replays, b.Reports, b.Computed,
-			n.Received, n.Dups, n.Malformed)
+			n.Received, n.Dups, n.Malformed, n.QueueDrops, n.BatchesRecv, n.BatchesSent, n.Coalesced)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -51,6 +51,7 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:9779", "rattping: rattd daemon address")
 		provers = flag.Int("provers", 100, "rattping: fleet size")
 		history = flag.Int("history", 3, "rattping: self-measurements per collection (negative skips)")
+		noBatch = flag.Bool("no-batch", false, "rattping: disable batch-frame send coalescing (per-report datagrams)")
 		inc     = flag.Bool("incremental", true, "use the incremental measurement engine (dirty-block digest caching)")
 		sched   = flag.String("sched", "", "event-queue backend: heap or wheel (results identical)")
 	)
@@ -82,7 +83,7 @@ func main() {
 		runTyTAN(*seed, !*noIso)
 		return
 	case "rattping":
-		runRattping(*addr, *provers, *seed, *memSize, *block, *history, *loss)
+		runRattping(*addr, *provers, *seed, *memSize, *block, *history, *loss, *noBatch)
 		return
 	default:
 		log.Fatalf("unknown mode %q", *mode)

@@ -161,16 +161,21 @@ func runSwarmSharded(devices, shards int, seed uint64, infect int) {
 // rattd daemon: each completes a SMART challenge/response round and
 // ships an ERASMUS collection, over UDP with retries. The image
 // parameters (seed, mem, block) must match the daemon's.
-func runRattping(addr string, provers int, seed uint64, memSize, block, history int, loss float64) {
+func runRattping(addr string, provers int, seed uint64, memSize, block, history int, loss float64, noBatch bool) {
 	fmt.Printf("rattping: %d provers -> %s (image seed=%d, %d bytes in %d-byte blocks)\n",
 		provers, addr, seed, memSize, block)
+	net := transport.NetConfig{DropRate: loss}
+	if noBatch {
+		net.BatchBytes = -1
+		net.CoalesceDelay = -1
+	}
 	res, err := rattd.RunFleet(rattd.FleetConfig{
 		Addr:      addr,
 		Provers:   provers,
 		Image:     rattd.GoldenImage(seed, memSize, block),
 		BlockSize: block,
 		History:   history,
-		Net:       transport.NetConfig{DropRate: loss},
+		Net:       net,
 		Logf:      func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
 	})
 	if err != nil {
@@ -181,8 +186,9 @@ func runRattping(addr string, provers int, seed uint64, memSize, block, history 
 		fmt.Printf("collection: %d ok, %d failed\n", res.CollectOK, res.CollectFail)
 	}
 	fmt.Printf("round trip: p50=%v p99=%v max=%v\n", res.P50, res.P99, res.Max)
-	fmt.Printf("datagrams:  sent=%d resent=%d received=%d dups=%d expired=%d\n",
-		res.Net.Sent, res.Net.Resent, res.Net.Received, res.Net.Dups, res.Net.Expired)
+	fmt.Printf("datagrams:  sent=%d resent=%d received=%d dups=%d expired=%d batches=%d coalesced=%d\n",
+		res.Net.Sent, res.Net.Resent, res.Net.Received, res.Net.Dups, res.Net.Expired,
+		res.Net.BatchesSent, res.Net.Coalesced)
 }
 
 // runTyTAN drives a per-process attestation round with colluding

@@ -102,7 +102,19 @@ func Serve(tr transport.Transport, cfg Config) (*Server, error) {
 		seedLast: map[string]uint64{},
 	}
 	s.batch.KeepEpochs = cfg.KeepEpochs
-	if err := tr.Bind(cfg.Name, s.onMsg); err != nil {
+	// Prefer the zero-copy receive path: report fields arrive as views
+	// into the transport's receive buffer and are consumed before the
+	// handler returns (every retained value below — nonces, counters,
+	// prover names — is owned or interned), so ingesting a collection
+	// costs no per-report copies. Transports without BindFrames get the
+	// owning-Msg path.
+	var err error
+	if fb, ok := tr.(transport.FrameBinder); ok {
+		err = fb.BindFrames(cfg.Name, s.onFrame)
+	} else {
+		err = tr.Bind(cfg.Name, s.onMsg)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -129,45 +141,74 @@ func (s *Server) BatchStats() verifier.BatchStats {
 	return s.batch.Stats()
 }
 
+// onFrame is the zero-copy receive path: report fields are views into
+// the transport buffer, consumed entirely inside the handler.
+func (s *Server) onFrame(f *transport.Frame) {
+	switch f.Kind {
+	case transport.KindHello:
+		s.handleHello(f.From)
+	case transport.KindReport:
+		s.handleReport(f.From, f.Reports)
+	case transport.KindCollection:
+		s.handleCollection(f.From, f.Reports)
+	case transport.KindSeedReport:
+		s.handleSeed(f.From, f.Reports)
+	}
+}
+
+// onMsg is the owning-copy receive path for transports without frame
+// delivery. Msg carries pointer reports; the handlers take value
+// slices, so the bundle is reshaped here (a copy of headers only —
+// the byte fields are shared, and the Msg owns them).
 func (s *Server) onMsg(m transport.Msg) {
+	var reports []core.Report
+	if len(m.Reports) > 0 {
+		reports = make([]core.Report, 0, len(m.Reports))
+		for _, r := range m.Reports {
+			if r != nil {
+				reports = append(reports, *r)
+			}
+		}
+	}
 	switch m.Kind {
 	case transport.KindHello:
-		s.handleHello(m)
+		s.handleHello(m.From)
 	case transport.KindReport:
-		s.handleReport(m)
+		s.handleReport(m.From, reports)
 	case transport.KindCollection:
-		s.handleCollection(m)
+		s.handleCollection(m.From, reports)
 	case transport.KindSeedReport:
-		s.handleSeed(m)
+		s.handleSeed(m.From, reports)
 	}
 }
 
 // handleHello answers a prover's hello with a fresh challenge nonce
 // (step 1 of the §2.2 timeline, prover-initiated so it traverses NATs).
-func (s *Server) handleHello(m transport.Msg) {
+func (s *Server) handleHello(from string) {
 	s.mu.Lock()
 	s.nonceCtr++
 	nonce := core.PRF(s.cfg.Key, "rattd-challenge", s.nonceCtr)[:16]
-	s.pending[m.From] = nonce
+	s.pending[from] = nonce
 	s.counts.Challenges++
 	s.mu.Unlock()
-	s.tr.Send(transport.Msg{From: s.cfg.Name, To: m.From, Kind: transport.KindChallenge, Nonce: nonce})
+	s.tr.Send(transport.Msg{From: s.cfg.Name, To: from, Kind: transport.KindChallenge, Nonce: nonce})
 }
 
 // handleReport validates a challenge response and answers with a
 // verdict.
-func (s *Server) handleReport(m transport.Msg) {
+func (s *Server) handleReport(from string, reports []core.Report) {
 	s.mu.Lock()
-	nonce, outstanding := s.pending[m.From]
-	delete(s.pending, m.From)
+	nonce, outstanding := s.pending[from]
+	delete(s.pending, from)
 	ok, reason := false, ""
 	if !outstanding {
 		reason = "unsolicited report"
-	} else if len(m.Reports) == 0 {
+	} else if len(reports) == 0 {
 		reason = "empty report bundle"
 	} else {
 		ok = true
-		for _, r := range m.Reports {
+		for i := range reports {
+			r := &reports[i]
 			if !hmac.Equal(r.Nonce, nonce) {
 				ok, reason = false, "nonce mismatch"
 				break
@@ -179,27 +220,28 @@ func (s *Server) handleReport(m transport.Msg) {
 	}
 	s.count(ok)
 	s.mu.Unlock()
-	s.logf("report %s: ok=%v %s", m.From, ok, reason)
-	s.tr.Send(transport.Msg{From: s.cfg.Name, To: m.From, Kind: transport.KindVerdict, OK: ok, Reason: reason})
+	s.logf("report %s: ok=%v %s", from, ok, reason)
+	s.tr.Send(transport.Msg{From: s.cfg.Name, To: from, Kind: transport.KindVerdict, OK: ok, Reason: reason})
 }
 
 // handleCollection validates an ERASMUS measurement history: per-report
 // tags, counter-bound self-derived nonces, no replayed and no
 // non-monotonic counters (§3.3). Each offending report is rejected
 // exactly once; the verdict covers the whole bundle.
-func (s *Server) handleCollection(m transport.Msg) {
+func (s *Server) handleCollection(from string, reports []core.Report) {
 	s.mu.Lock()
 	ok, reason := true, ""
-	if len(m.Reports) == 0 {
+	if len(reports) == 0 {
 		ok, reason = false, "empty collection"
 	}
-	seen := s.seen[m.From]
+	seen := s.seen[from]
 	if seen == nil {
 		seen = map[uint64]bool{}
-		s.seen[m.From] = seen
+		s.seen[from] = seen
 	}
 	var prevCtr uint64
-	for i, r := range m.Reports {
+	for i := range reports {
+		r := &reports[i]
 		rok, rreason := true, ""
 		want := core.PRF(s.cfg.Key, "erasmus-nonce", r.Counter)
 		switch {
@@ -223,33 +265,34 @@ func (s *Server) handleCollection(m transport.Msg) {
 		prevCtr = r.Counter
 	}
 	s.mu.Unlock()
-	s.logf("collection %s (%d reports): ok=%v %s", m.From, len(m.Reports), ok, reason)
-	s.tr.Send(transport.Msg{From: s.cfg.Name, To: m.From, Kind: transport.KindVerdict, OK: ok, Reason: reason})
+	s.logf("collection %s (%d reports): ok=%v %s", from, len(reports), ok, reason)
+	s.tr.Send(transport.Msg{From: s.cfg.Name, To: from, Kind: transport.KindVerdict, OK: ok, Reason: reason})
 }
 
 // handleSeed ingests unsolicited SeED reports: nonce bound to the
 // prover's derived seed and counter, counters strictly monotonic.
 // SeED is non-interactive, so no verdict is sent back.
-func (s *Server) handleSeed(m transport.Msg) {
+func (s *Server) handleSeed(from string, reports []core.Report) {
 	s.mu.Lock()
-	seed := SeedFor(s.cfg.Key, m.From)
-	for _, r := range m.Reports {
+	seed := SeedFor(s.cfg.Key, from)
+	for i := range reports {
+		r := &reports[i]
 		rok, rreason := true, ""
 		want := core.PRF(seed, "seed-nonce", r.Counter)
 		switch {
 		case !hmac.Equal(r.Nonce, want):
 			rok, rreason = false, "SeED nonce not bound to counter"
-		case r.Counter <= s.seedLast[m.From]:
+		case r.Counter <= s.seedLast[from]:
 			rok, rreason = false, "replayed SeED report"
 			s.counts.Replays++
 		default:
 			rok, rreason = s.verifyLocked(r)
 		}
 		if rok {
-			s.seedLast[m.From] = r.Counter
+			s.seedLast[from] = r.Counter
 		}
 		s.count(rok)
-		s.logf("seed-report %s ctr=%d: ok=%v %s", m.From, r.Counter, rok, rreason)
+		s.logf("seed-report %s ctr=%d: ok=%v %s", from, r.Counter, rok, rreason)
 	}
 	s.mu.Unlock()
 }

@@ -44,6 +44,21 @@ func (c *Collector) PullOver(tr transport.Transport, self string, members []stri
 	if err := tr.Bind(self, p.onMsg); err != nil {
 		return nil, err
 	}
+	// A round's fan-out is one small collect request per member — the
+	// shape batch coalescing exists for. When the transport can pack
+	// datagrams (transport.Net toward wire-v2 peers), the whole fan-out
+	// leaves in a few batch frames instead of len(members) datagrams.
+	if bs, ok := tr.(transport.BatchSender); ok {
+		ms := make([]transport.Msg, len(members))
+		for i, m := range members {
+			ms[i] = transport.Msg{From: self, To: m, Kind: transport.KindCollect}
+		}
+		if err := bs.SendBatch(ms); err != nil {
+			tr.Unbind(self)
+			return nil, err
+		}
+		return p, nil
+	}
 	for _, m := range members {
 		if err := tr.Send(transport.Msg{From: self, To: m, Kind: transport.KindCollect}); err != nil {
 			tr.Unbind(self)

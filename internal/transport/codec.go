@@ -6,17 +6,18 @@ import (
 	"sort"
 
 	"saferatt/internal/core"
-	"saferatt/internal/sim"
 )
 
 // The wire format. Every datagram is one frame:
 //
 //	0:2  magic "RA"
-//	2    version (currently 1)
-//	3    frame type: frameData | frameAck
+//	2    version (currently 2; version-1 data and ack frames decode
+//	     unchanged — v2 only *adds* the batch frame type, see frame.go)
+//	3    frame type: frameData | frameAck | frameBatch
 //	4:12 request ID (big endian)
 //
-// Ack frames end there. Data frames continue:
+// Ack frames end there. Batch frames are described in frame.go. Data
+// frames continue:
 //
 //	12   kind
 //	13   flags (bit 0: verdict OK)
@@ -41,12 +42,16 @@ import (
 const (
 	codecMagic0 = 'R'
 	codecMagic1 = 'A'
-	// CodecVersion is the current frame format version. Decoders reject
-	// frames from a different version instead of guessing.
-	CodecVersion = 1
+	// CodecVersion is the current frame format version. Decoders accept
+	// version 1 (whose data and ack layouts are identical) and reject
+	// anything else instead of guessing; batch frames require version 2.
+	// Senders learn a peer's version from its inbound traffic and fall
+	// back to per-message data frames for version-1 peers.
+	CodecVersion = 2
 
-	frameData = 0
-	frameAck  = 1
+	frameData  = 0
+	frameAck   = 1
+	frameBatch = 2
 
 	headerLen = 12
 )
@@ -93,68 +98,26 @@ func AppendAck(dst []byte, reqID uint64) []byte {
 // DecodeFrame parses one frame. It returns the message for data
 // frames, or (nil, reqID, nil) for ack frames. Trailing bytes, bad
 // magic, unknown versions and truncated payloads are all errors — a
-// frame either parses completely or not at all.
+// frame either parses completely or not at all. Batch frames are not
+// expressible as a single Msg; decode them with DecodeFrameInto.
+//
+// The returned Msg owns all of its memory by construction: it is
+// materialized from the zero-copy view decode via Frame.Msg, which
+// deep-copies every byte slice — no field can alias b, so callers may
+// reuse or mutate the buffer freely after decode.
 func DecodeFrame(b []byte) (*Msg, uint64, error) {
-	if len(b) < headerLen {
-		return nil, 0, fmt.Errorf("transport: frame truncated (%d bytes)", len(b))
+	var f Frame
+	if err := DecodeFrameInto(b, &f); err != nil {
+		return nil, 0, err
 	}
-	if b[0] != codecMagic0 || b[1] != codecMagic1 {
-		return nil, 0, fmt.Errorf("transport: bad magic %#x%x", b[0], b[1])
+	if f.Ack {
+		return nil, f.ReqID, nil
 	}
-	if b[2] != CodecVersion {
-		return nil, 0, fmt.Errorf("transport: unsupported frame version %d", b[2])
+	if f.Batch {
+		return nil, 0, fmt.Errorf("transport: batch frame (%d sub-frames) requires DecodeFrameInto", len(f.Sub))
 	}
-	reqID := binary.BigEndian.Uint64(b[4:12])
-	switch b[3] {
-	case frameAck:
-		if len(b) != headerLen {
-			return nil, 0, fmt.Errorf("transport: %d trailing bytes after ack", len(b)-headerLen)
-		}
-		return nil, reqID, nil
-	case frameData:
-	default:
-		return nil, 0, fmt.Errorf("transport: unknown frame type %d", b[3])
-	}
-	d := decoder{b: b, off: headerLen}
-	m := &Msg{ReqID: reqID}
-	kind := Kind(d.u8())
-	flags := d.u8()
-	if flags&^1 != 0 {
-		return nil, 0, fmt.Errorf("transport: unknown flag bits %#x", flags)
-	}
-	m.Kind = kind
-	m.OK = flags&1 != 0
-	m.From = string(d.bytes16())
-	m.To = string(d.bytes16())
-	switch kind {
-	case KindChallenge:
-		if n := d.bytes16(); len(n) > 0 {
-			m.Nonce = append([]byte(nil), n...)
-		}
-	case KindVerdict:
-		m.Reason = string(d.bytes16())
-	case KindReport, KindCollection, KindSeedReport:
-		n := int(d.u16())
-		if n > maxReports {
-			return nil, 0, fmt.Errorf("transport: report count %d exceeds limit", n)
-		}
-		if d.err == nil && n > 0 {
-			m.Reports = make([]*core.Report, 0, min(n, len(d.b)/8))
-			for i := 0; i < n && d.err == nil; i++ {
-				m.Reports = append(m.Reports, d.report())
-			}
-		}
-	case KindRelease, KindCollect, KindHello:
-	default:
-		return nil, 0, fmt.Errorf("transport: unknown message kind %d", uint8(kind))
-	}
-	if d.err != nil {
-		return nil, 0, d.err
-	}
-	if d.off != len(b) {
-		return nil, 0, fmt.Errorf("transport: %d trailing bytes", len(b)-d.off)
-	}
-	return m, reqID, nil
+	m := f.Msg()
+	return &m, f.ReqID, nil
 }
 
 // appendReport encodes one report's wire content deterministically.
@@ -257,57 +220,6 @@ func (d *decoder) take(n int) []byte {
 
 func (d *decoder) bytes8() []byte  { return d.take(int(d.u8())) }
 func (d *decoder) bytes16() []byte { return d.take(int(d.u16())) }
-
-func (d *decoder) report() *core.Report {
-	r := &core.Report{}
-	r.Mechanism = core.MechanismID(d.bytes8())
-	r.Scheme = string(d.bytes8())
-	if n := d.bytes16(); len(n) > 0 {
-		r.Nonce = append([]byte(nil), n...)
-	}
-	r.Round = int(int32(d.u32()))
-	r.Counter = d.u64()
-	if t := d.bytes16(); len(t) > 0 {
-		r.Tag = append([]byte(nil), t...)
-	}
-	r.TS = sim.Time(d.u64())
-	r.TE = sim.Time(d.u64())
-	r.RegionStart = int(int32(d.u32()))
-	r.RegionCount = int(int32(d.u32()))
-	rflags := d.u8()
-	if rflags&^1 != 0 && d.err == nil {
-		d.err = fmt.Errorf("transport: unknown report flag bits %#x", rflags)
-	}
-	r.Incremental = rflags&1 != 0
-	r.BlockSize = int(int32(d.u32()))
-	r.NumBlocks = int(int32(d.u32()))
-	n := int(d.u16())
-	if n > maxDataEntry {
-		d.err = fmt.Errorf("transport: data entry count %d exceeds limit", n)
-		return r
-	}
-	if d.err == nil && n > 0 {
-		r.Data = make(map[int][]byte, n)
-		prev := 0
-		for i := 0; i < n && d.err == nil; i++ {
-			blk := int(int32(d.u32()))
-			content := d.bytes16()
-			if d.err != nil {
-				break
-			}
-			// The encoder emits entries sorted by block index, so any
-			// other order (or a duplicate index) is a non-canonical
-			// frame — reject it rather than silently renormalising.
-			if i > 0 && blk <= prev {
-				d.err = fmt.Errorf("transport: data blocks not in canonical order (%d after %d)", blk, prev)
-				break
-			}
-			prev = blk
-			r.Data[blk] = append([]byte(nil), content...)
-		}
-	}
-	return r
-}
 
 func be16(dst []byte, v uint16) []byte { return append(dst, byte(v>>8), byte(v)) }
 

@@ -86,8 +86,47 @@ func FuzzWireCodec(f *testing.F) {
 	f.Add(AppendFrame(nil, &Msg{From: "v", To: "p", Kind: KindVerdict, ReqID: 5, OK: true, Reason: "x"}))
 	f.Add(AppendAck(nil, 12345))
 	f.Add([]byte{'R', 'A', CodecVersion, frameData, 0, 0, 0, 0, 0, 0, 0, 1})
+	// Batch-frame seeds: a healthy two-sub batch, a batch carrying the
+	// same sub-report twice (valid on the wire — dedup is a delivery
+	// concern), a truncated batch, and one whose count lies.
+	batchSeed := AppendBatch(nil, 77, []*Msg{
+		{From: "p1", To: "vrf", Kind: KindReport, ReqID: 8, Reports: []*core.Report{conformanceReport(1)}},
+		{From: "p2", To: "vrf", Kind: KindHello, ReqID: 9},
+	})
+	f.Add(batchSeed)
+	f.Add(AppendBatch(nil, 78, []*Msg{
+		{From: "p", To: "v", Kind: KindSeedReport, ReqID: 5, Reports: []*core.Report{conformanceReport(2)}},
+		{From: "p", To: "v", Kind: KindSeedReport, ReqID: 5, Reports: []*core.Report{conformanceReport(2)}},
+	}))
+	f.Add(batchSeed[:len(batchSeed)-5])
+	badCount := append([]byte(nil), batchSeed...)
+	badCount[13] = 7
+	f.Add(badCount)
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The zero-copy decoder must agree with the owning decoder on
+		// every input: same accept/reject verdict (batch frames
+		// excepted — only the view form can represent them), and for
+		// batches, strict canonical re-encode.
+		var fr Frame
+		viewErr := DecodeFrameInto(data, &fr)
+		if viewErr == nil && fr.Batch {
+			subs := make([]*Msg, len(fr.Sub))
+			for i := range fr.Sub {
+				m := fr.Sub[i].Msg()
+				subs[i] = &m
+			}
+			if again := AppendBatch(nil, fr.ReqID, subs); !bytes.Equal(again, data) {
+				t.Fatalf("batch decode/encode not idempotent:\n in  %x\n out %x", data, again)
+			}
+			if _, _, err := DecodeFrame(data); err == nil {
+				t.Fatalf("owning decoder accepted a batch frame")
+			}
+			return
+		}
 		m, reqID, err := DecodeFrame(data)
+		if (err == nil) != (viewErr == nil) {
+			t.Fatalf("decoders disagree: DecodeFrame=%v DecodeFrameInto=%v", err, viewErr)
+		}
 		if err != nil {
 			return
 		}

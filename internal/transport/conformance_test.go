@@ -190,6 +190,88 @@ func runConformance(t *testing.T, mk func(t *testing.T) *harness) {
 		}
 	})
 
+	t.Run("BatchSendFidelity", func(t *testing.T) {
+		// Both transports implement BatchSender (Net coalesces into
+		// batch frames once the peer is known v2; Sim loops Send), so a
+		// burst submitted at once must arrive complete and intact.
+		h := mk(t)
+		defer h.close()
+		bs, ok := h.client.(BatchSender)
+		if !ok {
+			t.Fatalf("transport does not implement BatchSender")
+		}
+		var box mailbox
+		if err := h.server.Bind("vrf", box.handle); err != nil {
+			t.Fatal(err)
+		}
+		// Prime the route and (over Net) teach the client the server's
+		// wire version, so the burst can actually coalesce.
+		if err := h.client.Send(Msg{From: "prv", To: "vrf", Kind: KindHello, ReqID: 1}); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, h, func() bool { return box.len() == 1 })
+		const burst = 20
+		ms := make([]Msg, burst)
+		for i := range ms {
+			ms[i] = Msg{From: "prv", To: "vrf", Kind: KindCollection, ReqID: uint64(100 + i),
+				Reports: []*core.Report{conformanceReport(i%4 + 1)}}
+		}
+		if err := bs.SendBatch(ms); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, h, func() bool { return box.len() == 1+burst })
+		seen := map[uint64]bool{}
+		for i := 1; i < box.len(); i++ {
+			got := box.get(i)
+			if got.Kind != KindCollection || got.From != "prv" || len(got.Reports) != 1 {
+				t.Fatalf("batched message mangled: %+v", got)
+			}
+			want := ms[got.ReqID-100]
+			assertReportEqual(t, got.Reports[0], want.Reports[0])
+			if seen[got.ReqID] {
+				t.Fatalf("request %d delivered twice", got.ReqID)
+			}
+			seen[got.ReqID] = true
+		}
+	})
+
+	t.Run("FrameBindFidelity", func(t *testing.T) {
+		// The zero-copy receive form must observe the same fields as a
+		// Msg handler, and Frame.Copy must survive buffer reuse.
+		h := mk(t)
+		defer h.close()
+		fb, ok := h.server.(FrameBinder)
+		if !ok {
+			t.Fatalf("transport does not implement FrameBinder")
+		}
+		var mu sync.Mutex
+		var frames []*Frame
+		if err := fb.BindFrames("vrf", func(f *Frame) {
+			mu.Lock()
+			frames = append(frames, f.Copy())
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		count := func() int { mu.Lock(); defer mu.Unlock(); return len(frames) }
+		want := conformanceReport(2)
+		if err := h.client.Send(Msg{From: "prv", To: "vrf", Kind: KindReport, ReqID: 6,
+			Reports: []*core.Report{want}}); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, h, func() bool { return count() == 1 })
+		mu.Lock()
+		f := frames[0]
+		mu.Unlock()
+		if f.From != "prv" || f.To != "vrf" || f.Kind != KindReport || f.ReqID != 6 {
+			t.Fatalf("frame envelope mangled: %+v", f)
+		}
+		if len(f.Reports) != 1 {
+			t.Fatalf("frame reports: %d", len(f.Reports))
+		}
+		assertReportEqual(t, &f.Reports[0], want)
+	})
+
 	t.Run("UnbindDropsDelivery", func(t *testing.T) {
 		h := mk(t)
 		defer h.close()
@@ -216,8 +298,38 @@ func runConformance(t *testing.T, mk func(t *testing.T) *harness) {
 	})
 }
 
-func TestConformanceSim(t *testing.T) { runConformance(t, simHarness) }
-func TestConformanceNet(t *testing.T) { runConformance(t, netHarness) }
+// netHarnessPerReport disables send coalescing on both ends: every
+// message travels as its own data frame, the wire-v1-compatible shape.
+func netHarnessPerReport(t *testing.T) *harness {
+	t.Helper()
+	cfg := NetConfig{BatchBytes: -1, CoalesceDelay: -1}
+	srv, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr().String(), cfg)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return &harness{
+		client: cli,
+		server: srv,
+		settle: func() { time.Sleep(2 * time.Millisecond) },
+		close: func() {
+			cli.Close()
+			srv.Close()
+		},
+	}
+}
+
+// The conformance matrix: {per-report, batch-frame} x {Sim, Net}. Sim
+// has no datagram coalescing, so its one harness covers both modes;
+// Net runs once with coalescing on (the default — bursts travel as
+// batch frames) and once forced to per-report data frames.
+func TestConformanceSim(t *testing.T)          { runConformance(t, simHarness) }
+func TestConformanceNet(t *testing.T)          { runConformance(t, netHarness) }
+func TestConformanceNetPerReport(t *testing.T) { runConformance(t, netHarnessPerReport) }
 
 // conformanceReport builds a report exercising every wire field.
 func conformanceReport(i int) *core.Report {

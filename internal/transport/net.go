@@ -7,6 +7,7 @@ import (
 	"fmt"
 	mrand "math/rand/v2"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,35 @@ type NetConfig struct {
 	// has not been acknowledged this long after submission stops
 	// retrying and counts as expired. Default 5 s.
 	RequestTimeout time.Duration
+	// RecvLoops is the number of goroutines blocked in socket reads,
+	// each decoding into its own pooled buffer; default 2.
+	RecvLoops int
+	// RecvQueues is the number of ring-buffer shard queues between the
+	// receive loops and the dispatch workers (one worker per queue).
+	// Datagrams shard by source address, so one peer's traffic stays
+	// ordered. Default 4.
+	RecvQueues int
+	// QueueCap is the per-queue datagram capacity. A full queue drops
+	// its OLDEST entry (counted in Stats().QueueDrops) instead of
+	// blocking the socket or growing without bound — reliable senders
+	// retransmit, so backpressure costs latency, not delivery.
+	// Default 1024.
+	QueueCap int
+	// BatchBytes budgets per-peer send coalescing: queued small sends
+	// to one destination are packed into a single batch datagram of at
+	// most this many bytes. Zero means the 1400-byte default (one
+	// conservative MTU); negative disables coalescing.
+	BatchBytes int
+	// CoalesceDelay is the longest a queued send may wait for the
+	// batch to fill before it is flushed. Zero means the 500 µs
+	// default; negative disables coalescing. Coalescing only engages
+	// toward peers that have announced wire version >= 2 (learned from
+	// their inbound traffic) and only while earlier sends to that
+	// destination are still in flight, so a lone request/response
+	// round trip never pays the delay.
+	CoalesceDelay time.Duration
+	// MaxBatch caps messages per batch datagram; default 256.
+	MaxBatch int
 	// DropRate injects independent datagram loss on the send path
 	// (testing the retry machinery without tc/netem); DropSeed makes
 	// the injected loss deterministic.
@@ -49,20 +79,74 @@ func (c *NetConfig) withDefaults() NetConfig {
 	if out.RequestTimeout <= 0 {
 		out.RequestTimeout = 5 * time.Second
 	}
+	if out.RecvLoops <= 0 {
+		out.RecvLoops = 2
+	}
+	if out.RecvQueues <= 0 {
+		out.RecvQueues = 4
+	}
+	if out.QueueCap <= 0 {
+		out.QueueCap = 1024
+	}
+	switch {
+	case out.BatchBytes < 0:
+		out.BatchBytes = 0 // coalescing disabled
+	case out.BatchBytes == 0:
+		out.BatchBytes = 1400
+	case out.BatchBytes < batchOverhead+perSubOverhead+16:
+		out.BatchBytes = batchOverhead + perSubOverhead + 16
+	}
+	switch {
+	case out.CoalesceDelay < 0:
+		out.CoalesceDelay = 0 // coalescing disabled
+	case out.CoalesceDelay == 0:
+		out.CoalesceDelay = 500 * time.Microsecond
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 256
+	}
+	if out.MaxBatch > maxBatchSubs {
+		out.MaxBatch = maxBatchSubs
+	}
 	return out
 }
 
+// coalescing reports whether send coalescing is configured on.
+func (c *NetConfig) coalescing() bool { return c.BatchBytes > 0 && c.CoalesceDelay > 0 }
+
 // NetStats counts datagram-level outcomes.
 type NetStats struct {
-	Sent      uint64 // first transmissions
-	Resent    uint64 // retransmissions
-	Acked     uint64 // reliable sends confirmed by the peer
-	Expired   uint64 // reliable sends that hit the request deadline
-	Received  uint64 // data frames delivered to a handler
-	Dups      uint64 // data frames suppressed by request-ID dedup
-	NoHandler uint64 // data frames for an unbound endpoint
-	Injected  uint64 // datagrams dropped by the injected-loss model
-	Malformed uint64 // frames that failed to decode
+	Sent        uint64 // first transmissions
+	Resent      uint64 // retransmissions
+	Acked       uint64 // reliable sends confirmed by the peer
+	Expired     uint64 // reliable sends that hit the request deadline
+	Received    uint64 // data frames delivered to a handler
+	Dups        uint64 // data frames suppressed by request-ID dedup
+	NoHandler   uint64 // data frames for an unbound endpoint
+	Injected    uint64 // datagrams dropped by the injected-loss model
+	Malformed   uint64 // frames that failed to decode
+	QueueDrops  uint64 // datagrams evicted from full receive queues
+	BatchesSent uint64 // batch frames transmitted (first transmissions)
+	BatchesRecv uint64 // batch frames received
+	Coalesced   uint64 // messages that traveled inside batch frames
+}
+
+// peerState is the per-destination-address send state: the resolved
+// address, the peer's announced wire version, the count of reliable
+// sends in flight toward it, and the coalescing queue of encoded
+// sub-frames awaiting a batch flush. Peers register once per distinct
+// address; every endpoint name routed to the same address shares one
+// peerState, so a daemon answering a thousand provers behind one
+// client socket coalesces across all of them.
+type peerState struct {
+	ap       netip.AddrPort
+	v2       atomic.Bool  // peer has announced wire version >= 2
+	inflight atomic.Int64 // reliable sends awaiting ack toward ap
+
+	cmu     sync.Mutex // guards the coalescing queue below
+	q       []byte     // length-prefixed encoded sub-frames
+	qn      int
+	timerOn bool
 }
 
 // Net is a Transport over real UDP sockets. One Net owns one socket
@@ -71,34 +155,79 @@ type NetStats struct {
 //
 // Reliability: a Send with ReqID != 0 (Send assigns one when zero) is
 // retransmitted with capped exponential backoff until the peer's ack
-// arrives or the per-request deadline expires. Receivers acknowledge
-// every data frame — duplicates included — and suppress re-delivery of
-// a (from, request ID) pair, so retries are idempotent end to end.
-// Routes are learned from inbound traffic (a daemon discovers each
-// prover's address from its first datagram) or pinned with AddRoute /
-// the Dial default route.
+// arrives or the per-request deadline expires; retransmit state lives
+// in a sharded pending table swept by one timer-wheel goroutine.
+// Receivers acknowledge every identified data or batch frame —
+// duplicates included — and suppress re-delivery of a (from, request
+// ID) pair, so retries are idempotent end to end. Routes are learned
+// from inbound traffic (a daemon discovers each prover's address from
+// its first datagram) or pinned with AddRoute / the Dial default
+// route.
 //
-// Unlike Sim, Net is safe for concurrent use; handlers run on the
-// receive goroutine.
+// Receive path: RecvLoops goroutines read datagrams into pooled
+// buffers and decode them in place (zero-copy view frames), feeding
+// RecvQueues fixed-capacity ring queues sharded by source address;
+// one worker per queue acks, dedups and dispatches. Handlers run on
+// those workers — a blocking handler stalls only its shard. Buffers
+// return to the pool when the worker finishes a frame, which is why
+// view frames must not be retained past the handler (see Frame).
+//
+// Unlike Sim, Net is safe for concurrent use.
 type Net struct {
 	cfg  NetConfig
 	conn *net.UDPConn
 
-	mu       sync.Mutex
-	handlers map[string]Handler
-	routes   map[string]*net.UDPAddr
-	def      *net.UDPAddr
-	pending  map[uint64]chan struct{} // reliable sends awaiting ack
-	dd       dedup
-	dropRNG  *mrand.Rand
-	closing  bool
+	pmu    sync.RWMutex
+	peers  map[string]*peerState // endpoint name -> destination
+	byAddr map[netip.AddrPort]*peerState
+	def    *peerState
 
-	reqID  atomic.Uint64
-	closed chan struct{}
-	wg     sync.WaitGroup
-	stats  struct {
-		sent, resent, acked, expired, received, dups, noHandler, injected, malformed atomic.Uint64
+	hmu       sync.RWMutex
+	handlers  map[string]Handler
+	fhandlers map[string]FrameHandler
+
+	// The loss model has a dedicated lock: injected-loss draws happen
+	// on every transmission, and serializing them behind the route or
+	// handler locks would make ack processing contend with Bind and
+	// route learning.
+	lossMu  sync.Mutex
+	dropRNG *mrand.Rand
+
+	pend  [pendShards]pendingShard
+	wheel *retryWheel
+
+	dedups [dedupShards]struct {
+		mu sync.Mutex
+		dd dedup
 	}
+
+	queues  []*pktRing
+	bufPool sync.Pool
+
+	reqID   atomic.Uint64
+	closing atomic.Bool
+	closed  chan struct{}
+	wg      sync.WaitGroup
+	stats   struct {
+		sent, resent, acked, expired, received, dups, noHandler, injected, malformed atomic.Uint64
+		queueDrops, batchesSent, batchesRecv, coalesced                              atomic.Uint64
+	}
+}
+
+// dedupShards shards the request-ID dedup windows by sender name, so
+// dispatch workers processing different peers never serialize on one
+// lock.
+const dedupShards = 16
+
+// recvBuf is one pooled receive buffer plus the view frame decoded
+// from it. The epoch counter advances every time the buffer returns
+// to the pool; Frame views into the buffer are valid only within one
+// epoch (the handler invocation they were delivered to).
+type recvBuf struct {
+	data  []byte
+	from  netip.AddrPort
+	frame Frame
+	epoch atomic.Uint64
 }
 
 // Listen opens a Net transport on cfg.Addr.
@@ -113,12 +242,18 @@ func Listen(cfg NetConfig) (*Net, error) {
 		return nil, fmt.Errorf("transport: listen %q: %w", cfg.Addr, err)
 	}
 	n := &Net{
-		cfg:      cfg,
-		conn:     conn,
-		handlers: map[string]Handler{},
-		routes:   map[string]*net.UDPAddr{},
-		pending:  map[uint64]chan struct{}{},
-		closed:   make(chan struct{}),
+		cfg:       cfg,
+		conn:      conn,
+		peers:     map[string]*peerState{},
+		byAddr:    map[netip.AddrPort]*peerState{},
+		handlers:  map[string]Handler{},
+		fhandlers: map[string]FrameHandler{},
+		wheel:     newRetryWheel(cfg.RetryBase, cfg.RetryCap),
+		closed:    make(chan struct{}),
+	}
+	n.bufPool.New = func() any { return &recvBuf{data: make([]byte, 64<<10)} }
+	for i := range n.pend {
+		n.pend[i].m = map[uint64]*inflight{}
 	}
 	if cfg.DropRate > 0 {
 		n.dropRNG = mrand.New(mrand.NewPCG(cfg.DropSeed, 0xd809))
@@ -132,8 +267,18 @@ func Listen(cfg NetConfig) (*Net, error) {
 	} else {
 		n.reqID.Store(uint64(time.Now().UnixNano()) | 1)
 	}
+	n.queues = make([]*pktRing, cfg.RecvQueues)
+	for i := range n.queues {
+		n.queues[i] = newPktRing(cfg.QueueCap)
+		n.wg.Add(1)
+		go n.worker(n.queues[i])
+	}
+	for i := 0; i < cfg.RecvLoops; i++ {
+		n.wg.Add(1)
+		go n.recvLoop()
+	}
 	n.wg.Add(1)
-	go n.readLoop()
+	go n.runWheel()
 	return n, nil
 }
 
@@ -150,10 +295,27 @@ func Dial(addr string, cfg NetConfig) (*Net, error) {
 		n.Close()
 		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
 	}
-	n.mu.Lock()
-	n.def = udp
-	n.mu.Unlock()
+	n.pmu.Lock()
+	n.def = n.peerForLocked(canonical(udp.AddrPort()))
+	n.pmu.Unlock()
 	return n, nil
+}
+
+// canonical strips the IPv4-in-IPv6 mapping so that one peer has one
+// address identity regardless of which stack a datagram arrived on.
+func canonical(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
+// peerForLocked returns (creating if needed) the peerState for ap.
+// Callers hold pmu.
+func (n *Net) peerForLocked(ap netip.AddrPort) *peerState {
+	st := n.byAddr[ap]
+	if st == nil {
+		st = &peerState{ap: ap}
+		n.byAddr[ap] = st
+	}
+	return st
 }
 
 // Addr returns the bound socket address (useful with ":0").
@@ -165,114 +327,288 @@ func (n *Net) AddRoute(name, addr string) error {
 	if err != nil {
 		return fmt.Errorf("transport: resolve %q: %w", addr, err)
 	}
-	n.mu.Lock()
-	n.routes[name] = udp
-	n.mu.Unlock()
+	n.pmu.Lock()
+	n.peers[name] = n.peerForLocked(canonical(udp.AddrPort()))
+	n.pmu.Unlock()
 	return nil
 }
 
-// Bind implements Transport.
+// Bind implements Transport. Handlers receive owning Msg copies; for
+// the allocation-free view form use BindFrames.
 func (n *Net) Bind(name string, h Handler) error {
 	if h == nil {
 		return fmt.Errorf("transport: nil handler for %q", name)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closing {
+	if n.closing.Load() {
 		return errors.New("transport: net closed")
 	}
+	n.hmu.Lock()
 	n.handlers[name] = h
+	delete(n.fhandlers, name)
+	n.hmu.Unlock()
+	return nil
+}
+
+// BindFrames registers a zero-copy handler for an endpoint name,
+// replacing any previous handler of either form. The handler receives
+// view frames whose byte fields alias a pooled receive buffer; they
+// are valid only until the handler returns (detach with Frame.Copy or
+// Frame.Msg to retain).
+func (n *Net) BindFrames(name string, h FrameHandler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil frame handler for %q", name)
+	}
+	if n.closing.Load() {
+		return errors.New("transport: net closed")
+	}
+	n.hmu.Lock()
+	n.fhandlers[name] = h
+	delete(n.handlers, name)
+	n.hmu.Unlock()
 	return nil
 }
 
 // Unbind implements Transport.
 func (n *Net) Unbind(name string) {
-	n.mu.Lock()
+	n.hmu.Lock()
 	delete(n.handlers, name)
-	n.mu.Unlock()
+	delete(n.fhandlers, name)
+	n.hmu.Unlock()
+}
+
+// route resolves the destination peer for an endpoint name.
+func (n *Net) route(to string) (*peerState, error) {
+	n.pmu.RLock()
+	st := n.peers[to]
+	if st == nil {
+		st = n.def
+	}
+	n.pmu.RUnlock()
+	if st == nil {
+		return nil, fmt.Errorf("transport: no route to %q", to)
+	}
+	return st, nil
 }
 
 // Send implements Transport. It assigns a fresh request ID when
-// m.ReqID is zero, transmits the frame, and retries with backoff until
-// acked or the request deadline passes. Send itself does not block on
-// delivery.
+// m.ReqID is zero, transmits the frame (possibly coalesced into a
+// batch datagram), and retries with backoff until acked or the request
+// deadline passes. Send itself does not block on delivery.
 func (n *Net) Send(m Msg) error {
 	if m.Kind == KindInvalid || m.Kind >= kindMax {
 		return fmt.Errorf("transport: cannot send kind %v", m.Kind)
 	}
+	if n.closing.Load() {
+		return errors.New("transport: net closed")
+	}
 	if m.ReqID == 0 {
 		m.ReqID = n.reqID.Add(1)
 	}
-	n.mu.Lock()
-	if n.closing {
-		n.mu.Unlock()
-		return errors.New("transport: net closed")
+	st, err := n.route(m.To)
+	if err != nil {
+		return err
 	}
-	dst := n.routes[m.To]
-	if dst == nil {
-		dst = n.def
+	if n.coalesce(st, &m, false) {
+		return nil
 	}
-	if dst == nil {
-		n.mu.Unlock()
-		return fmt.Errorf("transport: no route to %q", m.To)
-	}
-	acked := make(chan struct{})
-	n.pending[m.ReqID] = acked
-	n.mu.Unlock()
-
-	frame := AppendFrame(nil, &m)
-	n.transmit(frame, dst, false)
-	n.wg.Add(1)
-	go n.retryLoop(m.ReqID, frame, dst, acked)
+	n.sendReliable(m.ReqID, AppendFrame(nil, &m), st)
 	return nil
 }
 
-// retryLoop retransmits frame until ack, deadline, or shutdown.
-func (n *Net) retryLoop(reqID uint64, frame []byte, dst *net.UDPAddr, acked chan struct{}) {
+// SendBatch implements BatchSender: it queues every message into its
+// destination's coalescing buffer (flushing on the size budget) and
+// flushes the touched destinations at the end, so a burst addressed to
+// version-2 peers leaves in as few datagrams as the budget allows.
+// Messages for version-1 peers, oversized messages, and everything
+// else coalescing cannot carry fall back to individual data frames.
+func (n *Net) SendBatch(ms []Msg) error {
+	touched := make(map[*peerState]struct{}, 4)
+	for i := range ms {
+		m := ms[i]
+		if m.Kind == KindInvalid || m.Kind >= kindMax {
+			return fmt.Errorf("transport: cannot send kind %v", m.Kind)
+		}
+		if n.closing.Load() {
+			return errors.New("transport: net closed")
+		}
+		if m.ReqID == 0 {
+			m.ReqID = n.reqID.Add(1)
+		}
+		st, err := n.route(m.To)
+		if err != nil {
+			return err
+		}
+		if n.coalesce(st, &m, true) {
+			touched[st] = struct{}{}
+			continue
+		}
+		n.sendReliable(m.ReqID, AppendFrame(nil, &m), st)
+	}
+	for st := range touched {
+		st.cmu.Lock()
+		st.timerOn = false
+		n.flushLocked(st)
+		st.cmu.Unlock()
+	}
+	return nil
+}
+
+// coalesce queues m into st's batch buffer when coalescing applies,
+// reporting whether it consumed the message. force (SendBatch) skips
+// the lone-round-trip heuristic.
+func (n *Net) coalesce(st *peerState, m *Msg, force bool) bool {
+	if !n.cfg.coalescing() || !st.v2.Load() {
+		return false
+	}
+	if !force && st.inflight.Load() <= 1 && st.queuedNone() {
+		// At most one send awaiting ack toward this destination: a
+		// serial request/response exchange (whose previous ack may
+		// still be in flight). Send direct so a lone round trip never
+		// pays the coalescing delay; batches form only once genuinely
+		// concurrent load stacks up.
+		return false
+	}
+	sub := appendSub(nil, m)
+	if batchOverhead+perSubOverhead+len(sub) > n.cfg.BatchBytes {
+		return false
+	}
+	st.cmu.Lock()
+	if st.qn > 0 && batchOverhead+len(st.q)+perSubOverhead+len(sub) > n.cfg.BatchBytes {
+		n.flushLocked(st)
+	}
+	st.q = be32(st.q, uint32(len(sub)))
+	st.q = append(st.q, sub...)
+	st.qn++
+	if st.qn >= n.cfg.MaxBatch {
+		n.flushLocked(st)
+	} else if !st.timerOn && !force {
+		st.timerOn = true
+		time.AfterFunc(n.cfg.CoalesceDelay, func() { n.flushPeer(st) })
+	}
+	st.cmu.Unlock()
+	return true
+}
+
+func (st *peerState) queuedNone() bool {
+	st.cmu.Lock()
+	none := st.qn == 0
+	st.cmu.Unlock()
+	return none
+}
+
+// flushPeer is the coalescing timer callback.
+func (n *Net) flushPeer(st *peerState) {
+	if n.closing.Load() {
+		return
+	}
+	st.cmu.Lock()
+	st.timerOn = false
+	n.flushLocked(st)
+	st.cmu.Unlock()
+}
+
+// flushLocked emits st's queued sub-frames as one datagram: a plain
+// data frame when only one message is queued (no batch overhead), a
+// batch frame otherwise. Callers hold st.cmu.
+func (n *Net) flushLocked(st *peerState) {
+	if st.qn == 0 {
+		return
+	}
+	var frame []byte
+	var id uint64
+	if st.qn == 1 {
+		sub := st.q[perSubOverhead:]
+		id = binary.BigEndian.Uint64(sub[:8])
+		frame = make([]byte, 0, 4+len(sub))
+		frame = append(frame, codecMagic0, codecMagic1, CodecVersion, frameData)
+		frame = append(frame, sub...)
+	} else {
+		id = n.reqID.Add(1)
+		frame = make([]byte, 0, batchOverhead+len(st.q))
+		frame = append(frame, codecMagic0, codecMagic1, CodecVersion, frameBatch)
+		frame = be64(frame, id)
+		frame = be16(frame, uint16(st.qn))
+		frame = append(frame, st.q...)
+		n.stats.batchesSent.Add(1)
+		n.stats.coalesced.Add(uint64(st.qn))
+	}
+	st.q = st.q[:0]
+	st.qn = 0
+	n.sendReliable(id, frame, st)
+}
+
+// sendReliable registers frame in the pending table, transmits it, and
+// schedules its first retransmit on the wheel.
+func (n *Net) sendReliable(id uint64, frame []byte, st *peerState) {
+	e := &inflight{
+		frame:    frame,
+		st:       st,
+		deadline: time.Now().Add(n.cfg.RequestTimeout),
+		delay:    n.cfg.RetryBase,
+	}
+	sh := &n.pend[id%pendShards]
+	sh.mu.Lock()
+	sh.m[id] = e
+	sh.mu.Unlock()
+	st.inflight.Add(1)
+	n.transmit(frame, st.ap, false)
+	n.wheel.schedule(id, n.cfg.RetryBase)
+}
+
+// runWheel is the single retry goroutine: every wheel tick it
+// retransmits the due in-flight sends and expires the ones past their
+// deadline. Acked requests were removed from the pending table by the
+// receive path and simply no longer resolve.
+func (n *Net) runWheel() {
 	defer n.wg.Done()
-	deadline := time.Now().Add(n.cfg.RequestTimeout)
-	delay := n.cfg.RetryBase
-	timer := time.NewTimer(delay)
-	defer timer.Stop()
+	t := time.NewTicker(n.wheel.tick)
+	defer t.Stop()
+	var due []uint64
 	for {
 		select {
-		case <-acked:
-			n.stats.acked.Add(1)
-			return
 		case <-n.closed:
-			n.forget(reqID)
 			return
-		case <-timer.C:
+		case <-t.C:
 		}
-		if !time.Now().Before(deadline) {
-			n.stats.expired.Add(1)
-			n.forget(reqID)
-			if n.cfg.Logf != nil {
-				n.cfg.Logf("transport: request %d to %s expired", reqID, dst)
+		due = n.wheel.advance(due[:0])
+		now := time.Now()
+		for _, id := range due {
+			sh := &n.pend[id%pendShards]
+			sh.mu.Lock()
+			e := sh.m[id]
+			if e == nil {
+				sh.mu.Unlock()
+				continue
 			}
-			return
+			if !now.Before(e.deadline) {
+				delete(sh.m, id)
+				sh.mu.Unlock()
+				e.st.inflight.Add(-1)
+				n.stats.expired.Add(1)
+				if n.cfg.Logf != nil {
+					n.cfg.Logf("transport: request %d to %s expired", id, e.st.ap)
+				}
+				continue
+			}
+			frame, ap := e.frame, e.st.ap
+			delay := e.delay
+			e.delay *= 2
+			if e.delay > n.cfg.RetryCap {
+				e.delay = n.cfg.RetryCap
+			}
+			sh.mu.Unlock()
+			n.transmit(frame, ap, true)
+			n.wheel.schedule(id, delay)
 		}
-		n.transmit(frame, dst, true)
-		delay *= 2
-		if delay > n.cfg.RetryCap {
-			delay = n.cfg.RetryCap
-		}
-		timer.Reset(delay)
 	}
 }
 
-func (n *Net) forget(reqID uint64) {
-	n.mu.Lock()
-	delete(n.pending, reqID)
-	n.mu.Unlock()
-}
-
 // transmit writes one datagram, applying injected loss.
-func (n *Net) transmit(frame []byte, dst *net.UDPAddr, retry bool) {
+func (n *Net) transmit(frame []byte, ap netip.AddrPort, retry bool) {
 	if n.dropRNG != nil {
-		n.mu.Lock()
+		n.lossMu.Lock()
 		drop := n.dropRNG.Float64() < n.cfg.DropRate
-		n.mu.Unlock()
+		n.lossMu.Unlock()
 		if drop {
 			n.stats.injected.Add(1)
 			return
@@ -283,93 +619,241 @@ func (n *Net) transmit(frame []byte, dst *net.UDPAddr, retry bool) {
 	} else {
 		n.stats.sent.Add(1)
 	}
-	n.conn.WriteToUDP(frame, dst)
+	n.conn.WriteToUDPAddrPort(frame, ap)
 }
 
-func (n *Net) readLoop() {
+func (n *Net) getBuf() *recvBuf  { return n.bufPool.Get().(*recvBuf) }
+func (n *Net) putBuf(rb *recvBuf) {
+	rb.epoch.Add(1) // invalidate any views still pointing here
+	n.bufPool.Put(rb)
+}
+
+// recvLoop reads datagrams into pooled buffers, decodes them in place,
+// consumes acks inline (they only touch the pending table), and feeds
+// data and batch frames to the shard queues.
+func (n *Net) recvLoop() {
 	defer n.wg.Done()
-	buf := make([]byte, 64<<10)
-	ack := make([]byte, 0, headerLen)
 	for {
-		sz, from, err := n.conn.ReadFromUDP(buf)
+		rb := n.getBuf()
+		sz, from, err := n.conn.ReadFromUDPAddrPort(rb.data)
 		if err != nil {
+			n.bufPool.Put(rb)
 			select {
 			case <-n.closed:
 				return
 			default:
+			}
+			if n.closing.Load() {
+				// Close() shuts the socket before closing n.closed;
+				// don't spin on the resulting read errors.
+				return
 			}
 			if n.cfg.Logf != nil {
 				n.cfg.Logf("transport: read: %v", err)
 			}
 			continue
 		}
-		m, reqID, err := DecodeFrame(buf[:sz])
-		if err != nil {
+		if err := DecodeFrameInto(rb.data[:sz], &rb.frame); err != nil {
 			n.stats.malformed.Add(1)
+			n.bufPool.Put(rb)
 			continue
 		}
-		if m == nil { // ack frame
-			n.mu.Lock()
-			ch := n.pending[reqID]
-			delete(n.pending, reqID)
-			n.mu.Unlock()
-			if ch != nil {
-				close(ch)
+		if rb.frame.Ack {
+			n.handleAck(&rb.frame)
+			n.bufPool.Put(rb)
+			continue
+		}
+		rb.from = canonical(from)
+		q := n.queues[addrShard(rb.from, len(n.queues))]
+		if dropped := q.push(rb); dropped != nil {
+			if dropped != rb {
+				n.stats.queueDrops.Add(1)
 			}
-			continue
+			n.putBuf(dropped)
 		}
-		// Data frame: ack it (duplicates included — the peer may have
-		// missed our first ack), learn the sender's route, dedup,
-		// dispatch. Acks run through the injected-loss model too: a
-		// lost ack is exactly what forces the duplicate-suppression
-		// path.
-		ack = AppendAck(ack[:0], reqID)
-		dropAck := false
-		if n.dropRNG != nil {
-			n.mu.Lock()
-			dropAck = n.dropRNG.Float64() < n.cfg.DropRate
-			n.mu.Unlock()
-		}
-		if dropAck {
-			n.stats.injected.Add(1)
-		} else {
-			n.conn.WriteToUDP(ack, from)
-		}
-		n.mu.Lock()
-		if r := n.routes[m.From]; r == nil || !r.IP.Equal(from.IP) || r.Port != from.Port {
-			n.routes[m.From] = from
-		}
-		dup := m.ReqID != 0 && n.dd.seen(m.From, m.ReqID)
-		var h Handler
-		if !dup {
-			h = n.handlers[m.To]
-		}
-		n.mu.Unlock()
-		if dup {
-			n.stats.dups.Add(1)
-			continue
-		}
-		if h == nil {
-			n.stats.noHandler.Add(1)
-			continue
-		}
-		n.stats.received.Add(1)
-		h(*m)
 	}
 }
 
+// handleAck resolves an ack against the pending table: the request is
+// confirmed, and the ack's version byte reveals the peer speaks v2.
+func (n *Net) handleAck(f *Frame) {
+	sh := &n.pend[f.ReqID%pendShards]
+	sh.mu.Lock()
+	e := sh.m[f.ReqID]
+	delete(sh.m, f.ReqID)
+	sh.mu.Unlock()
+	if e == nil {
+		return
+	}
+	e.st.inflight.Add(-1)
+	n.stats.acked.Add(1)
+	if f.Ver >= 2 && !e.st.v2.Load() {
+		e.st.v2.Store(true)
+	}
+}
+
+// addrShard maps a source address onto a queue index (FNV-1a over the
+// 16-byte address and port).
+func addrShard(ap netip.AddrPort, mod int) int {
+	a16 := ap.Addr().As16()
+	h := uint32(2166136261)
+	for _, b := range a16 {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(ap.Port())) * 16777619
+	return int(h % uint32(mod))
+}
+
+func strShard(s string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return int(h % dedupShards)
+}
+
+// worker drains one shard queue: ack, learn route, dedup, dispatch,
+// recycle the buffer.
+func (n *Net) worker(q *pktRing) {
+	defer n.wg.Done()
+	ack := make([]byte, 0, headerLen)
+	for {
+		rb := q.pop()
+		if rb == nil {
+			return
+		}
+		f := &rb.frame
+		if f.Batch {
+			n.stats.batchesRecv.Add(1)
+			if f.ReqID != 0 {
+				ack = n.sendAck(ack, f.ReqID, rb.from)
+			}
+			for i := range f.Sub {
+				n.deliver(&f.Sub[i], rb.from)
+			}
+		} else {
+			// Ack duplicates included — the peer may have missed our
+			// first ack, and the ack is what stops its retries.
+			if f.ReqID != 0 {
+				ack = n.sendAck(ack, f.ReqID, rb.from)
+			}
+			n.deliver(f, rb.from)
+		}
+		n.putBuf(rb)
+	}
+}
+
+// sendAck transmits an ack frame through the injected-loss model (a
+// lost ack is exactly what forces the duplicate-suppression path).
+func (n *Net) sendAck(scratch []byte, reqID uint64, to netip.AddrPort) []byte {
+	scratch = AppendAck(scratch[:0], reqID)
+	if n.dropRNG != nil {
+		n.lossMu.Lock()
+		drop := n.dropRNG.Float64() < n.cfg.DropRate
+		n.lossMu.Unlock()
+		if drop {
+			n.stats.injected.Add(1)
+			return scratch
+		}
+	}
+	n.conn.WriteToUDPAddrPort(scratch, to)
+	return scratch
+}
+
+// deliver routes one decoded data frame (standalone or batch sub) to
+// its handler: learn the sender's address and version, suppress
+// duplicates, dispatch.
+func (n *Net) deliver(f *Frame, from netip.AddrPort) {
+	n.learnPeer(f.From, from, f.Ver)
+	if f.ReqID != 0 {
+		ds := &n.dedups[strShard(f.From)]
+		ds.mu.Lock()
+		dup := ds.dd.seen(f.From, f.ReqID)
+		ds.mu.Unlock()
+		if dup {
+			n.stats.dups.Add(1)
+			return
+		}
+	}
+	n.hmu.RLock()
+	fh := n.fhandlers[f.To]
+	var h Handler
+	if fh == nil {
+		h = n.handlers[f.To]
+	}
+	n.hmu.RUnlock()
+	switch {
+	case fh != nil:
+		n.stats.received.Add(1)
+		fh(f)
+	case h != nil:
+		n.stats.received.Add(1)
+		h(f.Msg())
+	default:
+		n.stats.noHandler.Add(1)
+	}
+}
+
+// learnPeer records name -> address and the peer's wire version.
+func (n *Net) learnPeer(name string, from netip.AddrPort, ver byte) {
+	if name == "" {
+		return
+	}
+	n.pmu.RLock()
+	st := n.peers[name]
+	n.pmu.RUnlock()
+	if st == nil || st.ap != from {
+		n.pmu.Lock()
+		st = n.peerForLocked(from)
+		n.peers[name] = st
+		n.pmu.Unlock()
+	}
+	if ver >= 2 && !st.v2.Load() {
+		st.v2.Store(true)
+	}
+}
+
+// flushAll flushes every destination's coalescing queue.
+func (n *Net) flushAll() {
+	if !n.cfg.coalescing() {
+		return
+	}
+	n.pmu.RLock()
+	sts := make([]*peerState, 0, len(n.byAddr))
+	for _, st := range n.byAddr {
+		sts = append(sts, st)
+	}
+	n.pmu.RUnlock()
+	for _, st := range sts {
+		st.cmu.Lock()
+		n.flushLocked(st)
+		st.cmu.Unlock()
+	}
+}
+
+// pendingCount is the number of reliable sends awaiting ack.
+func (n *Net) pendingCount() int {
+	total := 0
+	for i := range n.pend {
+		sh := &n.pend[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // Drain blocks until every reliable send has been acked or expired, or
-// the timeout passes. Zero timeout uses the request deadline.
+// the timeout passes. Zero timeout uses the request deadline. Queued
+// coalesced sends are flushed first.
 func (n *Net) Drain(timeout time.Duration) {
 	if timeout <= 0 {
 		timeout = n.cfg.RequestTimeout
 	}
+	n.flushAll()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		n.mu.Lock()
-		left := len(n.pending)
-		n.mu.Unlock()
-		if left == 0 {
+		if n.pendingCount() == 0 {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -378,33 +862,43 @@ func (n *Net) Drain(timeout time.Duration) {
 
 // Close implements Transport: it stops accepting new sends, drains
 // in-flight reliable sends (bounded by the request deadline), then
-// closes the socket and joins the retry and receive goroutines.
+// closes the socket and joins the receive, worker and retry
+// goroutines.
 func (n *Net) Close() error {
-	n.mu.Lock()
-	if n.closing {
-		n.mu.Unlock()
+	if n.closing.Swap(true) {
 		return nil
 	}
-	n.closing = true
-	n.mu.Unlock()
 	n.Drain(0)
-	close(n.closed)
 	err := n.conn.Close()
+	close(n.closed)
+	for _, q := range n.queues {
+		q.close()
+	}
 	n.wg.Wait()
+	for i := range n.pend {
+		sh := &n.pend[i]
+		sh.mu.Lock()
+		clear(sh.m)
+		sh.mu.Unlock()
+	}
 	return err
 }
 
 // Stats returns a snapshot of datagram counters.
 func (n *Net) Stats() NetStats {
 	return NetStats{
-		Sent:      n.stats.sent.Load(),
-		Resent:    n.stats.resent.Load(),
-		Acked:     n.stats.acked.Load(),
-		Expired:   n.stats.expired.Load(),
-		Received:  n.stats.received.Load(),
-		Dups:      n.stats.dups.Load(),
-		NoHandler: n.stats.noHandler.Load(),
-		Injected:  n.stats.injected.Load(),
-		Malformed: n.stats.malformed.Load(),
+		Sent:        n.stats.sent.Load(),
+		Resent:      n.stats.resent.Load(),
+		Acked:       n.stats.acked.Load(),
+		Expired:     n.stats.expired.Load(),
+		Received:    n.stats.received.Load(),
+		Dups:        n.stats.dups.Load(),
+		NoHandler:   n.stats.noHandler.Load(),
+		Injected:    n.stats.injected.Load(),
+		Malformed:   n.stats.malformed.Load(),
+		QueueDrops:  n.stats.queueDrops.Load(),
+		BatchesSent: n.stats.batchesSent.Load(),
+		BatchesRecv: n.stats.batchesRecv.Load(),
+		Coalesced:   n.stats.coalesced.Load(),
 	}
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -87,10 +88,7 @@ func TestNetDrainCompletes(t *testing.T) {
 		}
 	}
 	cli.Drain(5 * time.Second)
-	cli.mu.Lock()
-	left := len(cli.pending)
-	cli.mu.Unlock()
-	if left != 0 {
+	if left := cli.pendingCount(); left != 0 {
 		t.Fatalf("%d requests still pending after drain", left)
 	}
 	if s := cli.Stats(); s.Acked != 50 {
@@ -130,10 +128,7 @@ func TestNetRequestExpiry(t *testing.T) {
 	if s := cli.Stats(); s.Expired != 1 || s.Acked != 0 {
 		t.Fatalf("expected one expired request: %+v", s)
 	}
-	cli.mu.Lock()
-	left := len(cli.pending)
-	cli.mu.Unlock()
-	if left != 0 {
+	if cli.pendingCount() != 0 {
 		t.Fatalf("expired request still pending")
 	}
 }
@@ -196,5 +191,228 @@ func TestNetConcurrentSenders(t *testing.T) {
 	}
 	if len(seen) != workers || total != workers*each {
 		t.Fatalf("delivered %d msgs from %d senders, want %d from %d", total, len(seen), workers*each, workers)
+	}
+}
+
+// TestNetBatchCoalescing pins that coalescing actually happens on the
+// wire: a concurrent burst toward a known-v2 peer leaves as batch
+// frames (client Coalesced/BatchesSent count up, server BatchesRecv
+// counts up), every message still arrives exactly once, and batch
+// sub-requests dedup individually under retransmission.
+func TestNetBatchCoalescing(t *testing.T) {
+	srv, err := Listen(NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String(), NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var mu sync.Mutex
+	got := map[uint64]int{}
+	srv.Bind("vrf", func(m Msg) {
+		mu.Lock()
+		got[m.ReqID]++
+		mu.Unlock()
+	})
+
+	// Teach the client the server speaks v2 (the priming send's ack
+	// carries the version), then submit a burst through SendBatch.
+	if err := cli.Send(Msg{From: "prv", To: "vrf", Kind: KindHello, ReqID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cli.Drain(5 * time.Second)
+	const burst = 100
+	ms := make([]Msg, burst)
+	for i := range ms {
+		ms[i] = Msg{From: "prv", To: "vrf", Kind: KindHello, ReqID: uint64(2 + i)}
+	}
+	if err := cli.SendBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	cli.Drain(5 * time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == burst+1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != burst+1 {
+		t.Fatalf("delivered %d/%d distinct requests", len(got), burst+1)
+	}
+	for id, n := range got {
+		if n != 1 {
+			t.Fatalf("request %d delivered %d times", id, n)
+		}
+	}
+	cs, ss := cli.Stats(), srv.Stats()
+	if cs.BatchesSent == 0 || cs.Coalesced == 0 {
+		t.Fatalf("burst never coalesced: client %+v", cs)
+	}
+	if ss.BatchesRecv == 0 {
+		t.Fatalf("server saw no batch frames: %+v", ss)
+	}
+	if cs.Sent >= burst+1 {
+		t.Fatalf("coalescing saved no datagrams: %d sent for %d messages", cs.Sent, burst+1)
+	}
+}
+
+// TestNetCoalescingUnderLoss runs a coalesced burst under injected
+// loss on both sides: whole-batch retransmission must not re-deliver
+// any sub-request (they dedup individually).
+func TestNetCoalescingUnderLoss(t *testing.T) {
+	const drop = 0.2
+	fast := NetConfig{DropRate: drop, RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond}
+	srvCfg := fast
+	srvCfg.DropSeed = 21
+	srv, err := Listen(srvCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cliCfg := fast
+	cliCfg.DropSeed = 22
+	cli, err := Dial(srv.Addr().String(), cliCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var mu sync.Mutex
+	got := map[uint64]int{}
+	srv.Bind("vrf", func(m Msg) {
+		mu.Lock()
+		got[m.ReqID]++
+		mu.Unlock()
+	})
+	if err := cli.Send(Msg{From: "prv", To: "vrf", Kind: KindHello, ReqID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cli.Drain(10 * time.Second)
+	const burst = 150
+	ms := make([]Msg, burst)
+	for i := range ms {
+		ms[i] = Msg{From: "prv", To: "vrf", Kind: KindHello, ReqID: uint64(2 + i)}
+	}
+	if err := cli.SendBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == burst+1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != burst+1 {
+		t.Fatalf("delivered %d/%d distinct requests under %.0f%% loss", len(got), burst+1, drop*100)
+	}
+	for id, n := range got {
+		if n != 1 {
+			t.Fatalf("request %d delivered %d times", id, n)
+		}
+	}
+}
+
+// TestNetV1PeerFallback pins the compatibility path: with coalescing
+// enabled locally but the peer's version unknown (never learned v2),
+// every send travels as a plain per-message data frame.
+func TestNetV1PeerFallback(t *testing.T) {
+	srv, err := Listen(NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String(), NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var n atomic.Int64
+	srv.Bind("vrf", func(m Msg) { n.Add(1) })
+	// No priming round: the peer's version is unknown, so SendBatch
+	// must fall back to individual frames rather than stall or batch.
+	ms := make([]Msg, 30)
+	for i := range ms {
+		ms[i] = Msg{From: "prv", To: "vrf", Kind: KindHello, ReqID: uint64(1 + i)}
+	}
+	if err := cli.SendBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	cli.Drain(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && n.Load() != int64(len(ms)) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n.Load() != int64(len(ms)) {
+		t.Fatalf("delivered %d/%d", n.Load(), len(ms))
+	}
+	if cs := cli.Stats(); cs.BatchesSent != 0 {
+		t.Fatalf("batched toward a version-unknown peer: %+v", cs)
+	}
+}
+
+// TestNetQueueDropRecovery pins the backpressure contract: with a tiny
+// receive queue, floods evict datagrams (QueueDrops counts them) but
+// reliable retransmission still lands every request eventually.
+func TestNetQueueDropRecovery(t *testing.T) {
+	srv, err := Listen(NetConfig{QueueCap: 8, RecvQueues: 1,
+		RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String(), NetConfig{
+		RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond,
+		BatchBytes: -1, CoalesceDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var mu sync.Mutex
+	got := map[uint64]bool{}
+	srv.Bind("vrf", func(m Msg) {
+		// A slow handler so the tiny queue actually overflows.
+		time.Sleep(100 * time.Microsecond)
+		mu.Lock()
+		got[m.ReqID] = true
+		mu.Unlock()
+	})
+	const total = 300
+	for i := 1; i <= total; i++ {
+		if err := cli.Send(Msg{From: "prv", To: "vrf", Kind: KindHello, ReqID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == total {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != total {
+		t.Fatalf("delivered %d/%d after queue-drop recovery (server %+v)", n, total, srv.Stats())
 	}
 }

@@ -1,0 +1,73 @@
+package transport
+
+import "sync"
+
+// pktRing is a fixed-capacity ring of received datagrams: one shard of
+// the receive queue between the socket read loops and the dispatch
+// workers. Overload policy is drop-oldest — when the ring is full the
+// oldest queued datagram is evicted (its buffer recycled, the drop
+// counted) instead of blocking the read loop or spawning goroutines.
+// Dropping is safe by construction: reliable frames are retransmitted
+// by the sender until acked, and an evicted frame was never acked.
+type pktRing struct {
+	mu     sync.Mutex
+	nempty sync.Cond
+	buf    []*recvBuf
+	head   int // index of the oldest entry
+	n      int // occupied slots
+	closed bool
+}
+
+func newPktRing(capacity int) *pktRing {
+	r := &pktRing{buf: make([]*recvBuf, capacity)}
+	r.nempty.L = &r.mu
+	return r
+}
+
+// push enqueues rb, returning the evicted oldest entry if the ring was
+// full (nil otherwise). Pushing to a closed ring returns rb itself.
+func (r *pktRing) push(rb *recvBuf) (dropped *recvBuf) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return rb
+	}
+	if r.n == len(r.buf) {
+		dropped = r.buf[r.head]
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = rb
+	r.n++
+	r.mu.Unlock()
+	r.nempty.Signal()
+	return dropped
+}
+
+// pop dequeues the oldest entry, blocking while the ring is empty. It
+// returns nil once the ring is closed and fully drained.
+func (r *pktRing) pop() *recvBuf {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.nempty.Wait()
+	}
+	if r.n == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	rb := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	r.mu.Unlock()
+	return rb
+}
+
+// close wakes all blocked poppers; queued entries remain poppable.
+func (r *pktRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.nempty.Broadcast()
+}

@@ -52,6 +52,33 @@ func (s *Sim) Bind(name string, h Handler) error {
 	return nil
 }
 
+// BindFrames implements FrameBinder. Sim has no wire buffers to
+// alias, so it adapts: each delivered Msg is wrapped in an owning
+// Frame (FrameOfMsg) before the handler runs. Zero-copy is a Net
+// property; this adapter only preserves the interface contract so
+// protocol code can bind frames against either transport.
+func (s *Sim) BindFrames(name string, h FrameHandler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil frame handler for %q", name)
+	}
+	return s.Bind(name, func(m Msg) {
+		f := FrameOfMsg(&m)
+		h(&f)
+	})
+}
+
+// SendBatch implements BatchSender as a Send loop: the simulated link
+// has no datagram overhead to amortize, and per-message sends keep the
+// loss-model RNG draw sequence identical to legacy traffic.
+func (s *Sim) SendBatch(ms []Msg) error {
+	for i := range ms {
+		if err := s.Send(ms[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Unbind implements Transport.
 func (s *Sim) Unbind(name string) { s.link.Disconnect(name) }
 

@@ -122,8 +122,35 @@ type Msg struct {
 
 // Handler consumes delivered messages. Sim invokes handlers on the
 // simulation goroutine (inside kernel event context); Net invokes them
-// on its receive goroutine — a handler that blocks stalls delivery.
+// on a dispatch worker — a handler that blocks stalls its receive
+// shard. The Msg is an owning copy: the handler may retain it freely.
 type Handler func(m Msg)
+
+// FrameHandler is the zero-copy receive form: it is handed the decoded
+// view Frame itself, whose byte fields may alias a transport-owned
+// receive buffer. The views are valid only until the handler returns;
+// retain with Frame.Copy or Frame.Msg. Interned strings (Frame.From,
+// Frame.To, Report.Dev) are plain strings and always safe to keep.
+type FrameHandler func(f *Frame)
+
+// FrameBinder is implemented by transports that can deliver view
+// frames without materializing an owning Msg (Net; Sim wraps Bind).
+// BindFrames replaces any handler previously registered for name with
+// either Bind or BindFrames; Unbind removes both forms.
+type FrameBinder interface {
+	BindFrames(name string, h FrameHandler) error
+}
+
+// BatchSender is implemented by transports that can pack many
+// messages into shared datagrams. SendBatch has Send's semantics per
+// message (IDs assigned, reliable retry, per-message routing) but may
+// coalesce messages bound for the same wire-v2 destination into batch
+// frames, amortizing per-datagram cost. Transports without batching
+// (Sim) implement it as a Send loop, so callers can use it
+// unconditionally.
+type BatchSender interface {
+	SendBatch(ms []Msg) error
+}
 
 // Transport moves typed messages between named endpoints. Both
 // implementations — Sim (virtual time, deterministic) and Net (real

@@ -48,6 +48,14 @@ type Batch struct {
 	epochLRU  []string // insertion order for eviction
 	order     []int    // traversal-order scratch
 	stats     BatchStats
+
+	// lastKey/lastKeyBytes memoize the []byte -> string conversion of
+	// the attestation key: a fleet shares one key, so the steady state
+	// is a bytes.Equal hit and zero allocations per Verify. The daemon
+	// calls Verify with report views aliasing transport buffers; the
+	// memo copies, so nothing here retains caller memory.
+	lastKey      string
+	lastKeyBytes []byte
 }
 
 type groupKey struct {
@@ -100,7 +108,11 @@ func (b *Batch) Verify(key []byte, r *core.Report, shuffled bool) (bool, error) 
 		return false, fmt.Errorf("verifier: region/data reports are not batchable")
 	}
 	groups := b.groups(r.Nonce)
-	k := groupKey{key: string(key), round: r.Round, shuffled: shuffled, incremental: r.Incremental}
+	if !bytes.Equal(key, b.lastKeyBytes) {
+		b.lastKey = string(key)
+		b.lastKeyBytes = append(b.lastKeyBytes[:0], key...)
+	}
+	k := groupKey{key: b.lastKey, round: r.Round, shuffled: shuffled, incremental: r.Incremental}
 	exp, ok := groups[k]
 	if !ok {
 		var err error
@@ -128,16 +140,19 @@ func (b *Batch) groups(nonce []byte) map[groupKey][]byte {
 	if b.epochs == nil {
 		b.epochs = make(map[string]map[groupKey][]byte, b.KeepEpochs)
 	}
+	// The map probe with an inline []byte->string conversion does not
+	// allocate (compiler-recognized pattern); the conversion is only
+	// materialized on a miss, when the epoch key must be owned.
+	if g := b.epochs[string(nonce)]; g != nil {
+		return g
+	}
 	e := string(nonce)
-	g := b.epochs[e]
-	if g == nil {
-		g = map[groupKey][]byte{}
-		b.epochs[e] = g
-		b.epochLRU = append(b.epochLRU, e)
-		if len(b.epochLRU) > b.KeepEpochs {
-			delete(b.epochs, b.epochLRU[0])
-			b.epochLRU = b.epochLRU[1:]
-		}
+	g := map[groupKey][]byte{}
+	b.epochs[e] = g
+	b.epochLRU = append(b.epochLRU, e)
+	if len(b.epochLRU) > b.KeepEpochs {
+		delete(b.epochs, b.epochLRU[0])
+		b.epochLRU = b.epochLRU[1:]
 	}
 	return g
 }

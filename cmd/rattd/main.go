@@ -5,6 +5,22 @@
 //
 //	rattd -addr 127.0.0.1:9779 -seed 42 -mem 65536 -block 1024
 //
+// With -shards N it serves a horizontally sharded tier instead: N
+// shared-nothing verifier instances on consecutive ports (base port
+// +0..+N-1), coordinated only through epoch leases of the challenge
+// nonce-counter space. Clients route provers to shards with the same
+// rendezvous hash (rattd.ShardFor); `rattsim -mode rattping -shards N`
+// does this automatically.
+//
+//	rattd -addr 127.0.0.1:9779 -shards 8 -checkpoint /var/lib/rattd/state
+//
+// -checkpoint makes every shard persist its fleet state (enrollment,
+// freshness counters, epoch lease) to <path>.<shard> on exit and at
+// every stats interval; -restore loads those files on startup so a
+// restarted tier keeps verifying enrolled provers without
+// re-enrollment and still rejects replays. -pprof exposes
+// net/http/pprof for live profiling of the shard hot paths.
+//
 // Provers agree on the image by sharing (seed, mem, block); drive a
 // fleet against it with `rattsim -mode rattping -addr ...`.
 package main
@@ -13,8 +29,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -24,7 +44,8 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:9779", "UDP listen address")
+		addr     = flag.String("addr", "127.0.0.1:9779", "UDP listen address (shard i listens on port+i)")
+		shards   = flag.Int("shards", 1, "verifier shards, one socket each (provers route by rendezvous hash)")
 		seed     = flag.Uint64("seed", 42, "golden image seed (provers must match)")
 		memSize  = flag.Int("mem", 64<<10, "attested memory bytes")
 		block    = flag.Int("block", 1<<10, "block size bytes")
@@ -34,7 +55,11 @@ func main() {
 		verbose  = flag.Bool("v", false, "log every verification decision")
 		statsSec = flag.Int("stats", 30, "stats print interval in seconds (0 = only on exit)")
 
-		recvLoops  = flag.Int("recv-loops", 0, "socket receive goroutines (0 = default)")
+		checkpoint = flag.String("checkpoint", "", "persist shard state to <path>.<shard> on exit and every stats interval")
+		restore    = flag.Bool("restore", false, "restore shard state from -checkpoint files on startup")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		recvLoops  = flag.Int("recv-loops", 0, "socket receive goroutines per shard (0 = default)")
 		recvQueues = flag.Int("recv-queues", 0, "receive dispatch shards (0 = default)")
 		queueCap   = flag.Int("queue-cap", 0, "per-shard receive queue capacity (0 = default)")
 		batchBytes = flag.Int("batch-bytes", 0, "batch datagram size budget (0 = default, <0 disables coalescing)")
@@ -42,15 +67,42 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 0, "messages per batch datagram cap (0 = default)")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		log.Fatalf("rattd: -shards %d (need >= 1)", *shards)
+	}
+	if *restore && *checkpoint == "" {
+		log.Fatal("rattd: -restore needs -checkpoint <path>")
+	}
 
-	tr, err := transport.Listen(transport.NetConfig{
-		Addr: *addr, DropRate: *drop,
-		RecvLoops: *recvLoops, RecvQueues: *recvQueues, QueueCap: *queueCap,
-		BatchBytes: *batchBytes, CoalesceDelay: *coalesce, MaxBatch: *maxBatch,
-	})
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("rattd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("rattd: pprof: %v", err)
+			}
+		}()
+	}
+
+	addrs, err := shardAddrs(*addr, *shards)
 	if err != nil {
 		log.Fatalf("rattd: %v", err)
 	}
+	var nets []*transport.Net
+	var trs []transport.Transport
+	for _, a := range addrs {
+		tr, err := transport.Listen(transport.NetConfig{
+			Addr: a, DropRate: *drop,
+			RecvLoops: *recvLoops, RecvQueues: *recvQueues, QueueCap: *queueCap,
+			BatchBytes: *batchBytes, CoalesceDelay: *coalesce, MaxBatch: *maxBatch,
+		})
+		if err != nil {
+			log.Fatalf("rattd: %v", err)
+		}
+		defer tr.Close()
+		nets = append(nets, tr)
+		trs = append(trs, tr)
+	}
+
 	cfg := rattd.Config{
 		Ref:        rattd.GoldenImage(*seed, *memSize, *block),
 		BlockSize:  *block,
@@ -60,20 +112,51 @@ func main() {
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
-	srv, err := rattd.Serve(tr, cfg)
+	tier, err := rattd.ServeTier(trs, rattd.TierConfig{Base: cfg})
 	if err != nil {
 		log.Fatalf("rattd: %v", err)
 	}
-	log.Printf("rattd: serving on %s (image seed=%d %d bytes in %d-byte blocks)",
-		tr.Addr(), *seed, *memSize, *block)
+	if *restore {
+		cps, err := loadCheckpoints(*checkpoint, *shards)
+		if err != nil {
+			log.Fatalf("rattd: %v", err)
+		}
+		if err := tier.Restore(cps); err != nil {
+			log.Fatalf("rattd: %v", err)
+		}
+	}
+	for i, tr := range nets {
+		log.Printf("rattd: shard %d/%d serving on %s as %q (image seed=%d %d bytes in %d-byte blocks)",
+			i, *shards, tr.Addr(), tier.Shard(i).Name(), *seed, *memSize, *block)
+	}
 
 	printStats := func() {
-		c := srv.Counts()
-		b := srv.BatchStats()
-		n := tr.Stats()
-		log.Printf("rattd: challenges=%d accepted=%d rejected=%d replays=%d | batch reports=%d computed=%d | net rx=%d dup=%d malformed=%d qdrop=%d batches rx=%d tx=%d coalesced=%d",
-			c.Challenges, c.Accepted, c.Rejected, c.Replays, b.Reports, b.Computed,
+		c := tier.Counts()
+		var n transport.NetStats
+		for _, tr := range nets {
+			s := tr.Stats()
+			n.Received += s.Received
+			n.Dups += s.Dups
+			n.Malformed += s.Malformed
+			n.QueueDrops += s.QueueDrops
+			n.BatchesRecv += s.BatchesRecv
+			n.BatchesSent += s.BatchesSent
+			n.Coalesced += s.Coalesced
+		}
+		log.Printf("rattd: challenges=%d accepted=%d rejected=%d replays=%d enrolled=%d balance=%.3f | net rx=%d dup=%d malformed=%d qdrop=%d batches rx=%d tx=%d coalesced=%d",
+			c.Challenges, c.Accepted, c.Rejected, c.Replays, enrolled(tier), tier.Balance(),
 			n.Received, n.Dups, n.Malformed, n.QueueDrops, n.BatchesRecv, n.BatchesSent, n.Coalesced)
+	}
+	saveCheckpoints := func() {
+		if *checkpoint == "" {
+			return
+		}
+		for i, cp := range tier.Checkpoints() {
+			path := checkpointPath(*checkpoint, i)
+			if err := os.WriteFile(path, cp.Encode(), 0o644); err != nil {
+				log.Printf("rattd: checkpoint shard %d: %v", i, err)
+			}
+		}
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -85,6 +168,7 @@ func main() {
 			select {
 			case <-tick.C:
 				printStats()
+				saveCheckpoints()
 			case <-sig:
 				goto done
 			}
@@ -94,8 +178,75 @@ func main() {
 	}
 done:
 	log.Printf("rattd: draining")
-	srv.Close()
-	tr.Close()
+	tier.Close()
+	for _, tr := range nets {
+		tr.Close()
+	}
+	saveCheckpoints()
 	printStats()
 	fmt.Println("rattd: bye")
+}
+
+// shardAddrs derives each shard's listen address: the base port plus
+// the shard index (port 0 lets the kernel pick every port).
+func shardAddrs(base string, shards int) ([]string, error) {
+	if shards == 1 {
+		return []string{base}, nil
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: %v", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: %v", base, err)
+	}
+	addrs := make([]string, shards)
+	for i := range addrs {
+		p := 0
+		if port != 0 {
+			p = port + i
+		}
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(p))
+	}
+	return addrs, nil
+}
+
+func checkpointPath(base string, shard int) string {
+	return base + "." + strconv.Itoa(shard)
+}
+
+// loadCheckpoints reads per-shard checkpoint files; a missing file
+// cold-starts that shard, a corrupt one is a hard error.
+func loadCheckpoints(base string, shards int) ([]*rattd.Checkpoint, error) {
+	cps := make([]*rattd.Checkpoint, shards)
+	for i := range cps {
+		path := checkpointPath(base, i)
+		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			log.Printf("rattd: no checkpoint for shard %d (%s), cold start", i, path)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		cp, err := rattd.DecodeCheckpoint(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		cps[i] = cp
+		log.Printf("rattd: shard %d restored from %s (%d erasmus / %d seed provers, lease [%d,%d))",
+			i, path, len(cp.Erasmus), len(cp.Seed), cp.Lease.Lo, cp.Lease.Hi)
+	}
+	return cps, nil
+}
+
+// enrolled sums distinct enrolled provers across shards (shards are
+// disjoint by routing, so the sum is exact).
+func enrolled(t *rattd.Tier) int {
+	n := 0
+	for i := 0; i < t.Len(); i++ {
+		n += t.Shard(i).Enrolled()
+	}
+	return n
 }

@@ -14,6 +14,14 @@
 //	rattsim -mode tytan                       # per-process + colluding malware
 //	rattsim -mode tytan -no-isolation         # ... with the OS vulnerability
 //	rattsim -mode rattping -addr 127.0.0.1:9779 -provers 1000  # fleet vs a live rattd daemon
+//	rattsim -mode rattping -addr 127.0.0.1:9779 -shards 8 -provers 100000  # fleet vs a sharded rattd tier
+//
+// rattping tuning flags (mirror the daemon's transport knobs): -loss
+// injects datagram drop, -no-batch disables batch-frame coalescing,
+// -concurrency caps simultaneously active provers, and -recv-loops,
+// -recv-queues, -queue-cap, -batch-bytes, -coalesce, -max-batch
+// configure the client socket's receive parallelism and send
+// batching exactly as on cmd/rattd.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"saferatt"
 	"saferatt/internal/core"
 	"saferatt/internal/sim"
+	"saferatt/internal/transport"
 )
 
 func main() {
@@ -46,14 +55,22 @@ func main() {
 		nodes   = flag.Int("nodes", 15, "swarm: number of nodes")
 		infect  = flag.Int("infect", -1, "swarm: node index to infect (-1 none)")
 		devices = flag.Int("devices", 0, "swarm: fleet size for the sharded engine (0 = tree protocol with -nodes)")
-		shards  = flag.Int("shards", 0, "swarm: worker shards for -devices (0 = GOMAXPROCS; results identical)")
+		shards  = flag.Int("shards", 0, "swarm: worker shards for -devices (0 = GOMAXPROCS; results identical) / rattping: width of the target rattd tier")
 		noIso   = flag.Bool("no-isolation", false, "tytan: disable process isolation (the OS vulnerability)")
-		addr    = flag.String("addr", "127.0.0.1:9779", "rattping: rattd daemon address")
+		addr    = flag.String("addr", "127.0.0.1:9779", "rattping: rattd daemon address (tier base address with -shards)")
 		provers = flag.Int("provers", 100, "rattping: fleet size")
 		history = flag.Int("history", 3, "rattping: self-measurements per collection (negative skips)")
+		conc    = flag.Int("concurrency", 0, "rattping: max simultaneously active provers (0 = all)")
 		noBatch = flag.Bool("no-batch", false, "rattping: disable batch-frame send coalescing (per-report datagrams)")
-		inc     = flag.Bool("incremental", true, "use the incremental measurement engine (dirty-block digest caching)")
-		sched   = flag.String("sched", "", "event-queue backend: heap or wheel (results identical)")
+
+		recvLoops  = flag.Int("recv-loops", 0, "rattping: socket receive goroutines (0 = default)")
+		recvQueues = flag.Int("recv-queues", 0, "rattping: receive dispatch shards (0 = default)")
+		queueCap   = flag.Int("queue-cap", 0, "rattping: per-shard receive queue capacity (0 = default)")
+		batchBytes = flag.Int("batch-bytes", 0, "rattping: batch datagram size budget (0 = default, <0 disables coalescing)")
+		coalesce   = flag.Duration("coalesce", 0, "rattping: max delay a queued send waits for a batch (0 = default, <0 disables)")
+		maxBatch   = flag.Int("max-batch", 0, "rattping: messages per batch datagram cap (0 = default)")
+		inc        = flag.Bool("incremental", true, "use the incremental measurement engine (dirty-block digest caching)")
+		sched      = flag.String("sched", "", "event-queue backend: heap or wheel (results identical)")
 	)
 	flag.Parse()
 	core.SetStreamingDefault(!*inc)
@@ -83,7 +100,20 @@ func main() {
 		runTyTAN(*seed, !*noIso)
 		return
 	case "rattping":
-		runRattping(*addr, *provers, *seed, *memSize, *block, *history, *loss, *noBatch)
+		net := transport.NetConfig{
+			DropRate:  *loss,
+			RecvLoops: *recvLoops, RecvQueues: *recvQueues, QueueCap: *queueCap,
+			BatchBytes: *batchBytes, CoalesceDelay: *coalesce, MaxBatch: *maxBatch,
+		}
+		if *noBatch {
+			net.BatchBytes = -1
+			net.CoalesceDelay = -1
+		}
+		runRattping(rattpingOpts{
+			addr: *addr, shards: *shards, provers: *provers, seed: *seed,
+			memSize: *memSize, block: *block, history: *history,
+			concurrency: *conc, net: net,
+		})
 		return
 	default:
 		log.Fatalf("unknown mode %q", *mode)

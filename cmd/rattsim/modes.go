@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand/v2"
+	"net"
+	"strconv"
 
 	"saferatt/internal/channel"
 	"saferatt/internal/core"
@@ -15,9 +17,9 @@ import (
 	"saferatt/internal/mem"
 	"saferatt/internal/rattd"
 	"saferatt/internal/sim"
-	"saferatt/internal/transport"
 	"saferatt/internal/suite"
 	"saferatt/internal/swarm"
+	"saferatt/internal/transport"
 	"saferatt/internal/verifier"
 )
 
@@ -28,7 +30,7 @@ func runErasmus(memSize, block int, seed uint64, horizonSec, tmSec int) {
 	w := experiments.NewWorld(experiments.WorldConfig{
 		EngineConfig: experiments.EngineConfig{Seed: seed},
 		MemSize:      memSize, BlockSize: block, ROMBlocks: 1,
-		Opts:         opts, Latency: 5 * sim.Millisecond,
+		Opts: opts, Latency: 5 * sim.Millisecond,
 	})
 	tm := sim.Duration(tmSec) * sim.Second
 	e, err := core.NewErasmus("prv", w.Dev, w.Link, opts, tm, 5)
@@ -64,7 +66,7 @@ func runSeed(memSize, block int, seed uint64, horizonSec int, loss float64) {
 	w := experiments.NewWorld(experiments.WorldConfig{
 		EngineConfig: experiments.EngineConfig{Seed: seed},
 		MemSize:      memSize, BlockSize: block, ROMBlocks: 1,
-		Opts:         opts, Latency: 5 * sim.Millisecond, Loss: loss,
+		Opts: opts, Latency: 5 * sim.Millisecond, Loss: loss,
 	})
 	shared := core.PRF([]byte{byte(seed)}, "demo-seed", seed)[:16]
 	p, err := core.NewSeED("prv", w.Dev, w.Link, opts, shared, 5*sim.Second, 2500*sim.Millisecond, 5)
@@ -157,38 +159,80 @@ func runSwarmSharded(devices, shards int, seed uint64, infect int) {
 	fmt.Printf("healthy=%v infected=%v missing=%v\n", res.Healthy(), res.Infected(), res.Missing)
 }
 
+// rattpingOpts carries the rattping mode's flag surface.
+type rattpingOpts struct {
+	addr        string
+	shards      int // width of the target rattd tier (0/1 = single daemon)
+	provers     int
+	seed        uint64
+	memSize     int
+	block       int
+	history     int
+	concurrency int
+	net         transport.NetConfig
+}
+
 // runRattping drives a fleet of real-socket provers against a live
-// rattd daemon: each completes a SMART challenge/response round and
-// ships an ERASMUS collection, over UDP with retries. The image
-// parameters (seed, mem, block) must match the daemon's.
-func runRattping(addr string, provers int, seed uint64, memSize, block, history int, loss float64, noBatch bool) {
-	fmt.Printf("rattping: %d provers -> %s (image seed=%d, %d bytes in %d-byte blocks)\n",
-		provers, addr, seed, memSize, block)
-	net := transport.NetConfig{DropRate: loss}
-	if noBatch {
-		net.BatchBytes = -1
-		net.CoalesceDelay = -1
+// rattd daemon or sharded tier: each completes a SMART
+// challenge/response round and ships an ERASMUS collection, over UDP
+// with retries. The image parameters (seed, mem, block) must match
+// the daemon's; with -shards the tier is assumed to sit on
+// consecutive ports starting at the base address, exactly as
+// `rattd -shards` lays it out, and provers route by rendezvous hash.
+func runRattping(o rattpingOpts) {
+	cfg := rattd.FleetConfig{
+		Addr:        o.addr,
+		Provers:     o.provers,
+		Concurrency: o.concurrency,
+		Image:       rattd.GoldenImage(o.seed, o.memSize, o.block),
+		BlockSize:   o.block,
+		History:     o.history,
+		Net:         o.net,
+		Logf:        func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
 	}
-	res, err := rattd.RunFleet(rattd.FleetConfig{
-		Addr:      addr,
-		Provers:   provers,
-		Image:     rattd.GoldenImage(seed, memSize, block),
-		BlockSize: block,
-		History:   history,
-		Net:       net,
-		Logf:      func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
-	})
+	target := o.addr
+	if o.shards > 1 {
+		addrs, err := tierAddrs(o.addr, o.shards)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Addrs = addrs
+		target = fmt.Sprintf("%s (+%d shard ports)", o.addr, o.shards-1)
+	}
+	fmt.Printf("rattping: %d provers -> %s (image seed=%d, %d bytes in %d-byte blocks)\n",
+		o.provers, target, o.seed, o.memSize, o.block)
+	res, err := rattd.RunFleet(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("SMART:      %d ok, %d failed\n", res.SMARTOK, res.SMARTFail)
-	if history > 0 {
+	if o.history > 0 {
 		fmt.Printf("collection: %d ok, %d failed\n", res.CollectOK, res.CollectFail)
+	}
+	if res.ShardProvers != nil {
+		fmt.Printf("routing:    provers per shard %v\n", res.ShardProvers)
 	}
 	fmt.Printf("round trip: p50=%v p99=%v max=%v\n", res.P50, res.P99, res.Max)
 	fmt.Printf("datagrams:  sent=%d resent=%d received=%d dups=%d expired=%d batches=%d coalesced=%d\n",
 		res.Net.Sent, res.Net.Resent, res.Net.Received, res.Net.Dups, res.Net.Expired,
 		res.Net.BatchesSent, res.Net.Coalesced)
+}
+
+// tierAddrs mirrors cmd/rattd's shard address layout: base port + i.
+func tierAddrs(base string, shards int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: %v", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: %v", base, err)
+	}
+	addrs := make([]string, shards)
+	for i := range addrs {
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	return addrs, nil
 }
 
 // runTyTAN drives a per-process attestation round with colluding

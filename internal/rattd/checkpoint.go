@@ -1,0 +1,251 @@
+package rattd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Checkpoint is a shard's durable fleet state: the enrollment and
+// freshness bookkeeping (which provers exist and which of their
+// counters have been consumed) plus the shard's challenge-counter
+// lease. Restoring it into a fresh Server resumes the shard exactly
+// where it died — enrolled provers keep verifying without
+// re-registering, previously-accepted reports still read as replays,
+// and the restored lease (re-announced to the coordinator via
+// Observe) keeps challenge nonces globally unique across the
+// restart.
+//
+// Deliberately absent: outstanding SMART challenges (the prover's
+// own timeout re-initiates the round, and an unanswerable challenge
+// is not a safety problem), the verifier.Batch expected-tag cache
+// (pure derived state, rebuilt on demand), and diagnostic Counts.
+type Checkpoint struct {
+	// Lease is the challenge-counter lease held at snapshot time, and
+	// NonceCtr the next unused counter within it.
+	Lease    EpochLease
+	NonceCtr uint64
+	// Erasmus maps prover -> accepted ERASMUS measurement counters.
+	Erasmus map[string][]uint64
+	// Seed maps prover -> highest accepted SeED counter.
+	Seed map[string]uint64
+}
+
+// Checkpoint wire format, versioned like the transport codec so
+// mixed-version restarts fail loudly instead of misparsing:
+//
+//	magic "RC" | u8 version | u8 flags(0)
+//	u32 lease.Shard | u64 lease.Epoch | u64 lease.Lo | u64 lease.Hi
+//	u64 nonceCtr
+//	u32 nErasmus, then per prover (sorted by name):
+//	    u16 len | name bytes | u32 nCounters | u64 counters (sorted)
+//	u32 nSeed, then per prover (sorted by name):
+//	    u16 len | name bytes | u64 lastCounter
+//
+// Encoding is canonical (sorted provers, sorted counters), so equal
+// state always yields equal bytes — checkpoints can be compared,
+// deduplicated, and content-addressed.
+const (
+	checkpointMagic0  = 'R'
+	checkpointMagic1  = 'C'
+	CheckpointVersion = 1
+)
+
+// Checkpoint snapshots the server's fleet state. Safe to call while
+// the server is serving; the snapshot is taken under the shard lock.
+func (s *Server) Checkpoint() *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := &Checkpoint{
+		Lease:    s.lease,
+		NonceCtr: s.nonceCtr,
+		Erasmus:  make(map[string][]uint64, len(s.seen)),
+		Seed:     make(map[string]uint64, len(s.seedLast)),
+	}
+	for p, ctrs := range s.seen {
+		cs := make([]uint64, 0, len(ctrs))
+		for c := range ctrs {
+			cs = append(cs, c)
+		}
+		sort.Slice(cs, func(a, b int) bool { return cs[a] < cs[b] })
+		cp.Erasmus[p] = cs
+	}
+	for p, last := range s.seedLast {
+		cp.Seed[p] = last
+	}
+	return cp
+}
+
+// Restore installs a checkpoint into the server, replacing its fleet
+// state wholesale. Outstanding challenges are dropped (provers
+// re-initiate on their own timeout). In a tier, the caller must also
+// Observe the checkpoint's lease on the coordinator so future leases
+// stay disjoint — Tier.Restore and Tier.Restart do this.
+func (s *Server) Restore(cp *Checkpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lease = cp.Lease
+	s.nonceCtr = cp.NonceCtr
+	s.pending = map[string][]byte{}
+	s.seen = make(map[string]map[uint64]bool, len(cp.Erasmus))
+	for p, cs := range cp.Erasmus {
+		m := make(map[uint64]bool, len(cs))
+		for _, c := range cs {
+			m[c] = true
+		}
+		s.seen[p] = m
+	}
+	s.seedLast = make(map[string]uint64, len(cp.Seed))
+	for p, last := range cp.Seed {
+		s.seedLast[p] = last
+	}
+}
+
+// Encode serializes the checkpoint in canonical form.
+func (cp *Checkpoint) Encode() []byte {
+	b := make([]byte, 0, 64+32*len(cp.Erasmus)+16*len(cp.Seed))
+	b = append(b, checkpointMagic0, checkpointMagic1, CheckpointVersion, 0)
+	b = binary.BigEndian.AppendUint32(b, uint32(cp.Lease.Shard))
+	b = binary.BigEndian.AppendUint64(b, cp.Lease.Epoch)
+	b = binary.BigEndian.AppendUint64(b, cp.Lease.Lo)
+	b = binary.BigEndian.AppendUint64(b, cp.Lease.Hi)
+	b = binary.BigEndian.AppendUint64(b, cp.NonceCtr)
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(cp.Erasmus)))
+	for _, p := range sortedKeys(cp.Erasmus) {
+		b = appendName(b, p)
+		ctrs := cp.Erasmus[p]
+		b = binary.BigEndian.AppendUint32(b, uint32(len(ctrs)))
+		for _, c := range ctrs {
+			b = binary.BigEndian.AppendUint64(b, c)
+		}
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(cp.Seed)))
+	for _, p := range sortedKeys(cp.Seed) {
+		b = appendName(b, p)
+		b = binary.BigEndian.AppendUint64(b, cp.Seed[p])
+	}
+	return b
+}
+
+// DecodeCheckpoint parses an encoded checkpoint, strictly: unknown
+// versions, truncation, and trailing bytes are all errors.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	d := cpDecoder{b: b}
+	if len(b) < 4 || b[0] != checkpointMagic0 || b[1] != checkpointMagic1 {
+		return nil, fmt.Errorf("rattd: not a checkpoint (bad magic)")
+	}
+	if b[2] != CheckpointVersion {
+		return nil, fmt.Errorf("rattd: checkpoint version %d not supported (want %d)", b[2], CheckpointVersion)
+	}
+	d.off = 4
+	cp := &Checkpoint{}
+	cp.Lease.Shard = int(d.u32())
+	cp.Lease.Epoch = d.u64()
+	cp.Lease.Lo = d.u64()
+	cp.Lease.Hi = d.u64()
+	cp.NonceCtr = d.u64()
+
+	// Counts are checked against the bytes actually present (an entry
+	// costs at least its fixed fields) so a lying count cannot force a
+	// huge allocation before the truncation error surfaces.
+	ne := int(d.u32())
+	if d.err == nil && ne > d.remaining()/6 {
+		return nil, fmt.Errorf("rattd: checkpoint claims %d erasmus entries in %d bytes", ne, d.remaining())
+	}
+	cp.Erasmus = make(map[string][]uint64, ne)
+	for i := 0; i < ne && d.err == nil; i++ {
+		p := d.name()
+		nc := int(d.u32())
+		if d.err == nil && nc > d.remaining()/8 {
+			return nil, fmt.Errorf("rattd: checkpoint claims %d counters in %d bytes", nc, d.remaining())
+		}
+		cs := make([]uint64, 0, nc)
+		for j := 0; j < nc && d.err == nil; j++ {
+			cs = append(cs, d.u64())
+		}
+		cp.Erasmus[p] = cs
+	}
+	ns := int(d.u32())
+	if d.err == nil && ns > d.remaining()/10 {
+		return nil, fmt.Errorf("rattd: checkpoint claims %d seed entries in %d bytes", ns, d.remaining())
+	}
+	cp.Seed = make(map[string]uint64, ns)
+	for i := 0; i < ns && d.err == nil; i++ {
+		p := d.name()
+		cp.Seed[p] = d.u64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("rattd: %d trailing bytes after checkpoint", len(b)-d.off)
+	}
+	return cp, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func appendName(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// cpDecoder is a tiny sticky-error cursor over checkpoint bytes.
+type cpDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *cpDecoder) remaining() int { return len(d.b) - d.off }
+
+func (d *cpDecoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.remaining() < n {
+		d.err = fmt.Errorf("rattd: truncated checkpoint at offset %d", d.off)
+		return false
+	}
+	return true
+}
+
+func (d *cpDecoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *cpDecoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *cpDecoder) name() string {
+	if !d.need(2) {
+		return ""
+	}
+	n := int(binary.BigEndian.Uint16(d.b[d.off:]))
+	d.off += 2
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}

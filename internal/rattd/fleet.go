@@ -11,14 +11,26 @@ import (
 )
 
 // FleetConfig drives RunFleet: a fleet of real-socket provers
-// attesting against a rattd daemon ("rattping").
+// attesting against a rattd daemon ("rattping") or a sharded tier.
 type FleetConfig struct {
-	// Addr is the daemon's UDP address.
+	// Addr is the daemon's UDP address (single-shard form).
 	Addr string
+	// Addrs are the shard addresses of a rattd tier, indexed by shard.
+	// When len(Addrs) > 1 each prover routes to the shard ShardFor
+	// picks for its name — the same pure hash the tier uses — over the
+	// one shared client socket, and Addr/Daemon are ignored (shard i
+	// answers as ShardName(i)). Empty or one-element Addrs degrades to
+	// the single-daemon form.
+	Addrs []string
 	// Daemon is the daemon's endpoint name; defaults to "rattd".
 	Daemon string
 	// Provers is the fleet size.
 	Provers int
+	// Concurrency caps how many provers run their protocol at once;
+	// 0 means all of them (the historical behavior, fine to ~1k).
+	// 100k-prover fleets (E14) need a bound so the retry machinery
+	// is not fighting 100k goroutines' worth of in-flight datagrams.
+	Concurrency int
 	// Key/Image/BlockSize/Shuffled mirror the daemon's configuration.
 	Key       []byte
 	Image     []byte
@@ -40,14 +52,17 @@ type FleetConfig struct {
 
 // FleetResult summarizes one rattping run.
 type FleetResult struct {
-	Provers    int
-	SMARTOK    int
-	SMARTFail  int
-	CollectOK  int
+	Provers     int
+	SMARTOK     int
+	SMARTFail   int
+	CollectOK   int
 	CollectFail int
 	// P50/P99/Max are round-trip latencies for the SMART phase
 	// (hello sent -> verdict received).
 	P50, P99, Max time.Duration
+	// ShardProvers counts the provers routed to each shard (client-side
+	// view of the tier's balance); nil for single-daemon runs.
+	ShardProvers []int
 	// Net is the client transport's datagram counters.
 	Net transport.NetStats
 }
@@ -75,15 +90,32 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	if cfg.Provers <= 0 {
 		return nil, fmt.Errorf("rattd: fleet of %d provers", cfg.Provers)
 	}
+	addrs := cfg.Addrs
+	if len(addrs) == 0 {
+		addrs = []string{cfg.Addr}
+	}
+	shards := len(addrs)
 	netCfg := cfg.Net
 	netCfg.Addr = "" // client side always takes an ephemeral port
-	tr, err := transport.Dial(cfg.Addr, netCfg)
+	tr, err := transport.Dial(addrs[0], netCfg)
 	if err != nil {
 		return nil, err
 	}
 	defer tr.Close()
+	// Pin a static route per shard daemon so the first datagram to
+	// each already has an address (the transport would also learn the
+	// mapping passively from replies, but provers talk first).
+	for i, addr := range addrs {
+		if err := tr.AddRoute(tierShardName(i, shards), addr); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &FleetResult{Provers: cfg.Provers}
+	if shards > 1 {
+		res.ShardProvers = make([]int, shards)
+	}
+	sem := make(chan struct{}, fleetConcurrency(cfg))
 	var mu sync.Mutex
 	var rtts []time.Duration
 	var wg sync.WaitGroup
@@ -94,10 +126,17 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 			return nil, err
 		}
 		prv.Shuffled = cfg.Shuffled
+		daemon := cfg.Daemon
+		if shards > 1 {
+			shard := prv.ShardOf(shards)
+			daemon = ShardName(shard)
+			res.ShardProvers[shard]++
+		}
 		wg.Add(1)
+		sem <- struct{}{}
 		go func() {
-			defer wg.Done()
-			smartOK, rtt, collectOK := runProver(tr, cfg, prv)
+			defer func() { <-sem; wg.Done() }()
+			smartOK, rtt, collectOK := runProver(tr, cfg, prv, daemon)
 			mu.Lock()
 			defer mu.Unlock()
 			if smartOK {
@@ -127,10 +166,19 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	return res, nil
 }
 
-// runProver executes one prover's protocol: SMART round then ERASMUS
+// fleetConcurrency resolves the prover-concurrency cap.
+func fleetConcurrency(cfg FleetConfig) int {
+	if cfg.Concurrency > 0 && cfg.Concurrency < cfg.Provers {
+		return cfg.Concurrency
+	}
+	return cfg.Provers
+}
+
+// runProver executes one prover's protocol against the named daemon
+// (its assigned shard in a tier): SMART round then ERASMUS
 // collection. Returns SMART success + its round trip, and collection
 // success.
-func runProver(tr *transport.Net, cfg FleetConfig, prv *Prover) (bool, time.Duration, bool) {
+func runProver(tr *transport.Net, cfg FleetConfig, prv *Prover, daemon string) (bool, time.Duration, bool) {
 	inbox := make(chan transport.Msg, 8)
 	if err := tr.Bind(prv.Name, func(m transport.Msg) {
 		select {
@@ -169,7 +217,7 @@ func runProver(tr *transport.Net, cfg FleetConfig, prv *Prover) (bool, time.Dura
 	start := time.Now()
 	var smartOK bool
 	for attempt := 0; attempt < 2 && !smartOK; attempt++ {
-		if err := tr.Send(transport.Msg{From: prv.Name, To: cfg.Daemon, Kind: transport.KindHello}); err != nil {
+		if err := tr.Send(transport.Msg{From: prv.Name, To: daemon, Kind: transport.KindHello}); err != nil {
 			logf("hello: %v", err)
 			break
 		}
@@ -183,7 +231,7 @@ func runProver(tr *transport.Net, cfg FleetConfig, prv *Prover) (bool, time.Dura
 			logf("measure: %v", err)
 			break
 		}
-		if err := tr.Send(transport.Msg{From: prv.Name, To: cfg.Daemon, Kind: transport.KindReport,
+		if err := tr.Send(transport.Msg{From: prv.Name, To: daemon, Kind: transport.KindReport,
 			Reports: []*core.Report{rep}}); err != nil {
 			logf("report: %v", err)
 			break
@@ -221,7 +269,7 @@ func runProver(tr *transport.Net, cfg FleetConfig, prv *Prover) (bool, time.Dura
 			}
 			history = append(history, r)
 		}
-		if err := tr.Send(transport.Msg{From: prv.Name, To: cfg.Daemon, Kind: transport.KindCollection,
+		if err := tr.Send(transport.Msg{From: prv.Name, To: daemon, Kind: transport.KindCollection,
 			Reports: history}); err != nil {
 			logf("collection: %v", err)
 			break

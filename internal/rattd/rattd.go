@@ -17,6 +17,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
+	"math"
 	"sync"
 
 	"saferatt/internal/core"
@@ -49,6 +50,13 @@ type Config struct {
 	// bundles from a fleet interleave a handful of epochs; defaults
 	// to 64.
 	KeepEpochs int
+	// Lease, when set, supplies challenge nonce-counter epoch leases
+	// (normally from a tier Coordinator). It is called off the hot
+	// path — once per exhausted window, not per challenge — so a
+	// sharded tier stays shared-nothing on every report. Nil means
+	// the server self-leases the whole counter space, which is the
+	// pre-shard single-daemon behavior bit for bit.
+	Lease func() EpochLease
 	// Logf, if set, receives per-decision diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -71,7 +79,8 @@ type Server struct {
 	pending  map[string][]byte          // prover -> outstanding challenge nonce
 	seen     map[string]map[uint64]bool // prover -> accepted ERASMUS counters
 	seedLast map[string]uint64          // prover -> highest accepted SeED counter
-	nonceCtr uint64
+	lease    EpochLease                 // current challenge-counter lease
+	nonceCtr uint64                     // next counter within the lease
 	counts   Counts
 }
 
@@ -141,6 +150,41 @@ func (s *Server) BatchStats() verifier.BatchStats {
 	return s.batch.Stats()
 }
 
+// Lease returns the server's current challenge-counter lease (zero
+// until the first hello pulls one).
+func (s *Server) Lease() EpochLease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lease
+}
+
+// Enrolled counts the distinct provers the server holds freshness
+// state for — the "enrollment" that checkpoint/restore preserves, so
+// a restarted shard keeps rejecting replays and accepting fresh
+// counters without the fleet re-registering.
+func (s *Server) Enrolled() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.seen)
+	for p := range s.seedLast {
+		if _, ok := s.seen[p]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// leaseFn pulls the next epoch lease: the configured coordinator
+// hook, or a self-lease over the whole counter space when the server
+// runs unsharded. Called with s.mu held; the coordinator never calls
+// back into a shard, so the nesting cannot deadlock.
+func (s *Server) leaseFn() EpochLease {
+	if s.cfg.Lease != nil {
+		return s.cfg.Lease()
+	}
+	return EpochLease{Lo: 1, Hi: math.MaxUint64}
+}
+
 // onFrame is the zero-copy receive path: report fields are views into
 // the transport buffer, consumed entirely inside the handler.
 func (s *Server) onFrame(f *transport.Frame) {
@@ -184,10 +228,18 @@ func (s *Server) onMsg(m transport.Msg) {
 
 // handleHello answers a prover's hello with a fresh challenge nonce
 // (step 1 of the §2.2 timeline, prover-initiated so it traverses NATs).
+// The counter behind the nonce comes out of the server's current
+// epoch lease; a fresh lease is pulled only when the window runs dry,
+// so in a sharded tier the coordinator is touched once per
+// DefaultLeaseWindow challenges, never per request.
 func (s *Server) handleHello(from string) {
 	s.mu.Lock()
-	s.nonceCtr++
+	if s.nonceCtr < s.lease.Lo || s.nonceCtr >= s.lease.Hi {
+		s.lease = s.leaseFn()
+		s.nonceCtr = s.lease.Lo
+	}
 	nonce := core.PRF(s.cfg.Key, "rattd-challenge", s.nonceCtr)[:16]
+	s.nonceCtr++
 	s.pending[from] = nonce
 	s.counts.Challenges++
 	s.mu.Unlock()

@@ -18,8 +18,9 @@ import "sync"
 // fabricated names costs the flooder per-frame allocations, not us
 // unbounded memory.
 type internTable struct {
-	mu sync.RWMutex
-	m  map[string]string
+	mu  sync.RWMutex
+	m   map[string]string
+	cap int // soft bound on distinct entries; <=0 means internCap
 }
 
 // internCap is the soft bound on distinct interned strings. Generous
@@ -31,6 +32,9 @@ const internCap = 1 << 21
 var interned = internTable{m: make(map[string]string, 256)}
 
 // get returns the canonical string for b, interning it on first sight.
+// Whether interned or past-cap, the returned string is always a copy
+// — it never aliases b, so callers may hand in views into a receive
+// buffer that is about to be reused.
 func (t *internTable) get(b []byte) string {
 	if len(b) == 0 {
 		return ""
@@ -46,12 +50,23 @@ func (t *internTable) get(b []byte) string {
 	if s, ok := t.m[string(b)]; ok {
 		return s
 	}
-	if len(t.m) >= internCap {
+	max := t.cap
+	if max <= 0 {
+		max = internCap
+	}
+	if len(t.m) >= max {
 		return string(b)
 	}
 	s = string(b)
 	t.m[s] = s
 	return s
+}
+
+// size returns the current distinct-entry count.
+func (t *internTable) size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
 }
 
 // Intern exposes the frame decoder's interning table: it returns the

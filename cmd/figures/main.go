@@ -10,6 +10,7 @@
 //	figures -exp e11             # swarm-at-scale experiment (100/1k/10k devices)
 //	figures -exp e12             # long-horizon self-measurement fleet (QoA sweep)
 //	figures -exp e14             # sharded verifier tier (100k provers over real sockets)
+//	figures -exp e15             # million-prover single-shard run (intra-shard concurrency)
 //	figures -ablation a1..a5     # ablations
 //	figures -quick               # reduced trial counts
 //	figures -parallel 4          # trial worker count (results identical)
@@ -39,7 +40,7 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "regenerate figure N (1, 2, 4, 5)")
 		table    = flag.Int("table", 0, "regenerate table N (1)")
-		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10, e11, e12, e14)")
+		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10, e11, e12, e14, e15)")
 		ablation = flag.String("ablation", "", "run ablation (a1, a2, a3, a4, a5)")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "reduced Monte Carlo trial counts")
@@ -206,6 +207,21 @@ func main() {
 		}
 		fmt.Print(experiments.RenderE14(rows))
 		writeCSV("e14.csv", func(w io.Writer) error { return experiments.E14CSV(w, rows) })
+	})
+	run("E15: million-prover single-shard run (intra-shard concurrency)", *exp == "e15", func() {
+		cfg := experiments.E15Config{Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}}
+		if *quick {
+			cfg.Provers = 100_000
+		}
+		res, err := experiments.E15MillionProvers(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e15:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderE15(res))
+		writeCSV("e15.csv", func(w io.Writer) error { return experiments.E15CSV(w, res) })
 	})
 	run("A1: SMARM block-count ablation", *ablation == "a1", func() {
 		fmt.Print(experiments.RenderA1(experiments.AblationSMARMBlocks(nil, trials(100), 1)))

@@ -34,6 +34,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"syscall"
 	"time"
@@ -51,6 +52,7 @@ func main() {
 		block    = flag.Int("block", 1<<10, "block size bytes")
 		shuffled = flag.Bool("shuffled", false, "expect permuted traversal orders (SMARM-style)")
 		epochs   = flag.Int("keep-epochs", 64, "nonce epochs of expected tags to cache")
+		stripes  = flag.Int("stripes", 0, "lock stripes for per-prover state per shard (0 = 4×GOMAXPROCS)")
 		drop     = flag.Float64("drop", 0, "injected datagram loss rate (testing)")
 		verbose  = flag.Bool("v", false, "log every verification decision")
 		statsSec = flag.Int("stats", 30, "stats print interval in seconds (0 = only on exit)")
@@ -60,7 +62,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		recvLoops  = flag.Int("recv-loops", 0, "socket receive goroutines per shard (0 = default)")
-		recvQueues = flag.Int("recv-queues", 0, "receive dispatch shards (0 = default)")
+		recvQueues = flag.Int("recv-queues", 0, "receive dispatch workers per shard (0 = GOMAXPROCS, min 4; each drives the striped verify path concurrently)")
 		queueCap   = flag.Int("queue-cap", 0, "per-shard receive queue capacity (0 = default)")
 		batchBytes = flag.Int("batch-bytes", 0, "batch datagram size budget (0 = default, <0 disables coalescing)")
 		coalesce   = flag.Duration("coalesce", 0, "max delay a queued send waits for a batch (0 = default, <0 disables)")
@@ -81,6 +83,16 @@ func main() {
 				log.Printf("rattd: pprof: %v", err)
 			}
 		}()
+	}
+
+	if *recvQueues == 0 {
+		// Dispatch workers are what actually run the striped verify
+		// path, so default their count to the cores available; the
+		// floor keeps source-address sharding effective on small hosts.
+		*recvQueues = runtime.GOMAXPROCS(0)
+		if *recvQueues < 4 {
+			*recvQueues = 4
+		}
 	}
 
 	addrs, err := shardAddrs(*addr, *shards)
@@ -108,6 +120,7 @@ func main() {
 		BlockSize:  *block,
 		Shuffled:   *shuffled,
 		KeepEpochs: *epochs,
+		Stripes:    *stripes,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"saferatt"
@@ -64,7 +65,7 @@ func main() {
 		noBatch = flag.Bool("no-batch", false, "rattping: disable batch-frame send coalescing (per-report datagrams)")
 
 		recvLoops  = flag.Int("recv-loops", 0, "rattping: socket receive goroutines (0 = default)")
-		recvQueues = flag.Int("recv-queues", 0, "rattping: receive dispatch shards (0 = default)")
+		recvQueues = flag.Int("recv-queues", 0, "rattping: receive dispatch workers (0 = GOMAXPROCS, min 4)")
 		queueCap   = flag.Int("queue-cap", 0, "rattping: per-shard receive queue capacity (0 = default)")
 		batchBytes = flag.Int("batch-bytes", 0, "rattping: batch datagram size budget (0 = default, <0 disables coalescing)")
 		coalesce   = flag.Duration("coalesce", 0, "rattping: max delay a queued send waits for a batch (0 = default, <0 disables)")
@@ -100,6 +101,15 @@ func main() {
 		runTyTAN(*seed, !*noIso)
 		return
 	case "rattping":
+		if *recvQueues == 0 {
+			// Match the daemon side: one dispatch worker per core, with
+			// a small-host floor, so client receive capacity keeps pace
+			// with a striped tier's reply rate.
+			*recvQueues = runtime.GOMAXPROCS(0)
+			if *recvQueues < 4 {
+				*recvQueues = 4
+			}
+		}
 		net := transport.NetConfig{
 			DropRate:  *loss,
 			RecvLoops: *recvLoops, RecvQueues: *recvQueues, QueueCap: *queueCap,

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"saferatt/internal/suite"
+)
+
+// AppendPRF appends PRF(key, label, counter) — HMAC-SHA256(key,
+// label || counter), identical bytes to PRF — to dst and returns the
+// extended slice. The MAC state comes from the (algorithm, key) pool,
+// so a caller that reuses dst across calls derives nonces with zero
+// allocations: the shape the verifier daemon's ingest hot path needs,
+// where every ERASMUS report costs one nonce derivation before its
+// tag is even looked at.
+//
+// label is []byte rather than string so call sites can hold the label
+// as a package-level byte slice and avoid the string→[]byte
+// conversion allocating on every Write.
+// prfCtrScratch pools the 8-byte counter staging buffers: written
+// through a hash.Hash interface they would otherwise escape, costing
+// one heap allocation per derivation.
+var prfCtrScratch = sync.Pool{New: func() any { return new([8]byte) }}
+
+func AppendPRF(dst []byte, key []byte, label []byte, counter uint64) []byte {
+	c := prfCtrScratch.Get().(*[8]byte)
+	binary.BigEndian.PutUint64(c[:], counter)
+	if len(key) == 0 {
+		// The suite pool rejects empty MAC keys; HMAC itself defines
+		// them (zero-padded), and un-keyed callers rely on that.
+		mac := hmac.New(sha256.New, key)
+		mac.Write(label)
+		mac.Write(c[:])
+		prfCtrScratch.Put(c)
+		return mac.Sum(dst)
+	}
+	mac, err := suite.AcquireMAC(suite.SHA256, key)
+	if err != nil {
+		// SHA-256 is always registered; this is unreachable, and PRF's
+		// signature (no error) is the contract callers rely on.
+		panic(err)
+	}
+	mac.Write(label)
+	mac.Write(c[:])
+	prfCtrScratch.Put(c)
+	dst = mac.Sum(dst)
+	suite.ReleaseMAC(suite.SHA256, key, mac)
+	return dst
+}

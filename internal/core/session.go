@@ -1,10 +1,6 @@
 package core
 
 import (
-	"crypto/hmac"
-	"crypto/sha256"
-	"encoding/binary"
-
 	"saferatt/internal/device"
 )
 
@@ -76,12 +72,8 @@ func (s *Session) Holding() bool { return s.last != nil && s.last.Holding() }
 
 // PRF computes HMAC-SHA256(key, label || counter): the pseudorandom
 // function used to self-derive nonces (ERASMUS), schedule times (SeED),
-// and traversal permutations.
+// and traversal permutations. Hot paths that reuse an output buffer
+// should call AppendPRF instead; this form allocates the result.
 func PRF(key []byte, label string, counter uint64) []byte {
-	mac := hmac.New(sha256.New, key)
-	mac.Write([]byte(label))
-	var c [8]byte
-	binary.BigEndian.PutUint64(c[:], counter)
-	mac.Write(c[:])
-	return mac.Sum(nil)
+	return AppendPRF(nil, key, []byte(label), counter)
 }

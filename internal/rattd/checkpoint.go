@@ -25,8 +25,10 @@ type Checkpoint struct {
 	// NonceCtr the next unused counter within it.
 	Lease    EpochLease
 	NonceCtr uint64
-	// Erasmus maps prover -> accepted ERASMUS measurement counters.
-	Erasmus map[string][]uint64
+	// Erasmus maps prover -> ERASMUS replay window (watermark +
+	// bitmap). Fixed size per prover, so the checkpoint — like the
+	// live state — is O(provers), not O(reports ever accepted).
+	Erasmus map[string]DedupWindow
 	// Seed maps prover -> highest accepted SeED counter.
 	Seed map[string]uint64
 }
@@ -38,40 +40,50 @@ type Checkpoint struct {
 //	u32 lease.Shard | u64 lease.Epoch | u64 lease.Lo | u64 lease.Hi
 //	u64 nonceCtr
 //	u32 nErasmus, then per prover (sorted by name):
-//	    u16 len | name bytes | u32 nCounters | u64 counters (sorted)
+//	    v2: u16 len | name bytes | u64 windowTop | DedupWords × u64 bits
+//	    v1: u16 len | name bytes | u32 nCounters | u64 counters (sorted)
 //	u32 nSeed, then per prover (sorted by name):
 //	    u16 len | name bytes | u64 lastCounter
 //
-// Encoding is canonical (sorted provers, sorted counters), so equal
-// state always yields equal bytes — checkpoints can be compared,
-// deduplicated, and content-addressed.
+// Version 2 replaced v1's unbounded per-prover counter lists with the
+// fixed-size dedup window. Encode always writes v2; DecodeCheckpoint
+// still reads v1 (counter lists are replayed into a window, oldest
+// first, so an upgraded shard restores a pre-upgrade checkpoint with
+// the window semantics it would have converged to anyway).
+//
+// Encoding is canonical (sorted provers; windows are kept in
+// canonical form with out-of-range bits zero), so equal state always
+// yields equal bytes — checkpoints can be compared, deduplicated, and
+// content-addressed.
 const (
-	checkpointMagic0  = 'R'
-	checkpointMagic1  = 'C'
-	CheckpointVersion = 1
+	checkpointMagic0   = 'R'
+	checkpointMagic1   = 'C'
+	CheckpointVersion  = 2
+	checkpointVersion1 = 1
 )
 
 // Checkpoint snapshots the server's fleet state. Safe to call while
-// the server is serving; the snapshot is taken under the shard lock.
+// the server is serving: each stripe is locked in turn, so the
+// snapshot is per-stripe consistent (a bundle racing the snapshot
+// lands wholly in or wholly out of its prover's entry).
 func (s *Server) Checkpoint() *Checkpoint {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cp := &Checkpoint{
-		Lease:    s.lease,
-		NonceCtr: s.nonceCtr,
-		Erasmus:  make(map[string][]uint64, len(s.seen)),
-		Seed:     make(map[string]uint64, len(s.seedLast)),
+		Erasmus: make(map[string]DedupWindow),
+		Seed:    make(map[string]uint64),
 	}
-	for p, ctrs := range s.seen {
-		cs := make([]uint64, 0, len(ctrs))
-		for c := range ctrs {
-			cs = append(cs, c)
+	s.leaseMu.Lock()
+	cp.Lease = s.lease
+	cp.NonceCtr = s.nonceCtr
+	s.leaseMu.Unlock()
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for p, w := range st.seen {
+			cp.Erasmus[p] = *w
 		}
-		sort.Slice(cs, func(a, b int) bool { return cs[a] < cs[b] })
-		cp.Erasmus[p] = cs
-	}
-	for p, last := range s.seedLast {
-		cp.Seed[p] = last
+		for p, last := range st.seedLast {
+			cp.Seed[p] = last
+		}
+		st.mu.Unlock()
 	}
 	return cp
 }
@@ -80,30 +92,46 @@ func (s *Server) Checkpoint() *Checkpoint {
 // state wholesale. Outstanding challenges are dropped (provers
 // re-initiate on their own timeout). In a tier, the caller must also
 // Observe the checkpoint's lease on the coordinator so future leases
-// stay disjoint — Tier.Restore and Tier.Restart do this.
+// stay disjoint — Tier.Restore and Tier.Restart do this. Restore is
+// meant for a just-(re)started shard; it locks stripe by stripe, so
+// traffic racing the restore sees either old or new state per prover.
 func (s *Server) Restore(cp *Checkpoint) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.leaseMu.Lock()
 	s.lease = cp.Lease
 	s.nonceCtr = cp.NonceCtr
-	s.pending = map[string][]byte{}
-	s.seen = make(map[string]map[uint64]bool, len(cp.Erasmus))
-	for p, cs := range cp.Erasmus {
-		m := make(map[uint64]bool, len(cs))
-		for _, c := range cs {
-			m[c] = true
-		}
-		s.seen[p] = m
+	s.leaseMu.Unlock()
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		st.pending = map[string]pendingChallenge{}
+		st.order = nil
+		st.seen = map[string]*DedupWindow{}
+		st.seedLast = map[string]uint64{}
+		st.mu.Unlock()
 	}
-	s.seedLast = make(map[string]uint64, len(cp.Seed))
+	enrolled := int64(0)
+	for p, w := range cp.Erasmus {
+		st := s.stripeFor(p)
+		cw := w
+		st.mu.Lock()
+		st.seen[p] = &cw
+		st.mu.Unlock()
+		enrolled++
+	}
 	for p, last := range cp.Seed {
-		s.seedLast[p] = last
+		st := s.stripeFor(p)
+		st.mu.Lock()
+		if st.seen[p] == nil {
+			enrolled++
+		}
+		st.seedLast[p] = last
+		st.mu.Unlock()
 	}
+	s.enrolled.Store(enrolled)
 }
 
-// Encode serializes the checkpoint in canonical form.
+// Encode serializes the checkpoint in canonical v2 form.
 func (cp *Checkpoint) Encode() []byte {
-	b := make([]byte, 0, 64+32*len(cp.Erasmus)+16*len(cp.Seed))
+	b := make([]byte, 0, 64+(16+8+8*DedupWords)*len(cp.Erasmus)+24*len(cp.Seed))
 	b = append(b, checkpointMagic0, checkpointMagic1, CheckpointVersion, 0)
 	b = binary.BigEndian.AppendUint32(b, uint32(cp.Lease.Shard))
 	b = binary.BigEndian.AppendUint64(b, cp.Lease.Epoch)
@@ -114,10 +142,10 @@ func (cp *Checkpoint) Encode() []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(len(cp.Erasmus)))
 	for _, p := range sortedKeys(cp.Erasmus) {
 		b = appendName(b, p)
-		ctrs := cp.Erasmus[p]
-		b = binary.BigEndian.AppendUint32(b, uint32(len(ctrs)))
-		for _, c := range ctrs {
-			b = binary.BigEndian.AppendUint64(b, c)
+		w := cp.Erasmus[p]
+		b = binary.BigEndian.AppendUint64(b, w.Top)
+		for _, word := range w.Bits {
+			b = binary.BigEndian.AppendUint64(b, word)
 		}
 	}
 	b = binary.BigEndian.AppendUint32(b, uint32(len(cp.Seed)))
@@ -129,14 +157,17 @@ func (cp *Checkpoint) Encode() []byte {
 }
 
 // DecodeCheckpoint parses an encoded checkpoint, strictly: unknown
-// versions, truncation, and trailing bytes are all errors.
+// versions, truncation, and trailing bytes are all errors. Both the
+// current v2 format and the pre-window v1 format are accepted.
 func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	d := cpDecoder{b: b}
 	if len(b) < 4 || b[0] != checkpointMagic0 || b[1] != checkpointMagic1 {
 		return nil, fmt.Errorf("rattd: not a checkpoint (bad magic)")
 	}
-	if b[2] != CheckpointVersion {
-		return nil, fmt.Errorf("rattd: checkpoint version %d not supported (want %d)", b[2], CheckpointVersion)
+	ver := b[2]
+	if ver != CheckpointVersion && ver != checkpointVersion1 {
+		return nil, fmt.Errorf("rattd: checkpoint version %d not supported (want %d or %d)",
+			ver, checkpointVersion1, CheckpointVersion)
 	}
 	d.off = 4
 	cp := &Checkpoint{}
@@ -150,21 +181,35 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	// costs at least its fixed fields) so a lying count cannot force a
 	// huge allocation before the truncation error surfaces.
 	ne := int(d.u32())
-	if d.err == nil && ne > d.remaining()/6 {
+	minEntry := 6
+	if ver == CheckpointVersion {
+		minEntry = 2 + 8 + 8*DedupWords
+	}
+	if d.err == nil && ne > d.remaining()/minEntry {
 		return nil, fmt.Errorf("rattd: checkpoint claims %d erasmus entries in %d bytes", ne, d.remaining())
 	}
-	cp.Erasmus = make(map[string][]uint64, ne)
+	cp.Erasmus = make(map[string]DedupWindow, ne)
 	for i := 0; i < ne && d.err == nil; i++ {
 		p := d.name()
-		nc := int(d.u32())
-		if d.err == nil && nc > d.remaining()/8 {
-			return nil, fmt.Errorf("rattd: checkpoint claims %d counters in %d bytes", nc, d.remaining())
+		var w DedupWindow
+		if ver == CheckpointVersion {
+			w.Top = d.u64()
+			for j := range w.Bits {
+				w.Bits[j] = d.u64()
+			}
+		} else {
+			// v1 carried the full sorted counter list; replaying it
+			// oldest-first converges to the same window the live server
+			// would have held.
+			nc := int(d.u32())
+			if d.err == nil && nc > d.remaining()/8 {
+				return nil, fmt.Errorf("rattd: checkpoint claims %d counters in %d bytes", nc, d.remaining())
+			}
+			for j := 0; j < nc && d.err == nil; j++ {
+				w.Add(d.u64())
+			}
 		}
-		cs := make([]uint64, 0, nc)
-		for j := 0; j < nc && d.err == nil; j++ {
-			cs = append(cs, d.u64())
-		}
-		cp.Erasmus[p] = cs
+		cp.Erasmus[p] = w
 	}
 	ns := int(d.u32())
 	if d.err == nil && ns > d.remaining()/10 {

@@ -1,0 +1,132 @@
+package rattd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"saferatt/internal/core"
+	"saferatt/internal/transport"
+)
+
+// BenchmarkServer_VerifySteady prices the steady-state ERASMUS verify
+// path — fleet provers reporting the current counter, expected tag
+// already cached: one PRF, one window probe, one MAC compare, one
+// window commit. The CI gate asserts 0 allocs/op here.
+func BenchmarkServer_VerifySteady(b *testing.B) {
+	const fleet = 4096
+	s := localServer(b, Config{Stripes: 8})
+	image := GoldenImage(7, testMem, testBlock)
+
+	names := make([]string, fleet)
+	base := make([]core.Report, fleet) // counter-1 report per prover
+	for i := 0; i < fleet; i++ {
+		p, err := NewProver(fmt.Sprintf("prv%05d", i), DefaultKey, image, testBlock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		names[i] = p.Name
+		base[i] = selfMeasure(b, p, 1)
+	}
+	// The fleet shares one key, so every prover's report for a given
+	// counter is byte-identical except replay state: enroll everyone at
+	// counter 1, then bump each measured report's counter past anything
+	// seen so every iteration takes the accept path.
+	for i := range names {
+		s.Ingest(names[i], transport.KindCollection, base[i:i+1])
+	}
+	reports := make(map[uint64][]core.Report) // counter -> one-report bundle
+	bundleFor := func(ctr uint64) []core.Report {
+		if r, ok := reports[ctr]; ok {
+			return r
+		}
+		p, err := NewProver("tmpl", DefaultKey, image, testBlock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := []core.Report{selfMeasure(b, p, ctr)}
+		reports[ctr] = r
+		return r
+	}
+	for ctr := uint64(2); ctr < 2+uint64((b.N+len(names)-1)/len(names))+1; ctr++ {
+		bundleFor(ctr) // pre-build outside the timed loop
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	ctr, idx := uint64(2), 0
+	for i := 0; i < b.N; i++ {
+		s.Ingest(names[idx], transport.KindCollection, reports[ctr])
+		idx++
+		if idx == len(names) {
+			idx, ctr = 0, ctr+1
+		}
+	}
+	b.StopTimer()
+	if c := s.Counts(); c.Rejected != 0 {
+		b.Fatalf("steady-state bench rejected %d reports", c.Rejected)
+	}
+}
+
+// BenchmarkServer_ConcurrentIngest measures intra-shard scaling: G
+// concurrent ingest goroutines (the shape transport dispatch workers
+// produce) over a shared server, striped versus serialized — the
+// "serialized" arm funnels the identical workload through one global
+// mutex, reproducing the old single-lock daemon. Run with -cpu 1,2,4
+// on a multi-core host; the ratio striped/serialized at -cpu 4 is the
+// headline number. On a single-core host the two arms converge (no
+// parallelism to reclaim) and TestStripesDoNotShareLocks carries the
+// structural claim instead.
+func BenchmarkServer_ConcurrentIngest(b *testing.B) {
+	const fleet = 1024
+	image := GoldenImage(7, testMem, testBlock)
+	build := func(b *testing.B) (*Server, []string, [][]core.Report) {
+		s := localServer(b, Config{Stripes: 0}) // default: 4×GOMAXPROCS
+		names := make([]string, fleet)
+		warm := make([][]core.Report, fleet)
+		for i := 0; i < fleet; i++ {
+			p, err := NewProver(fmt.Sprintf("prv%05d", i), DefaultKey, image, testBlock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			names[i] = p.Name
+			warm[i] = []core.Report{selfMeasure(b, p, 1)}
+			s.Ingest(names[i], transport.KindCollection, warm[i])
+		}
+		// Per-counter template bundles, shared fleet-wide (same key ⇒
+		// identical reports); enough counters that the bench never
+		// replays.
+		bundles := make([][]core.Report, 0, 64)
+		p, err := NewProver("tmpl", DefaultKey, image, testBlock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for ctr := uint64(2); ctr < 2+64; ctr++ {
+			bundles = append(bundles, []core.Report{selfMeasure(b, p, ctr)})
+		}
+		return s, names, bundles
+	}
+	run := func(b *testing.B, lock *sync.Mutex) {
+		s, names, bundles := build(b)
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				n := next.Add(1) - 1
+				name := names[n%fleet]
+				bundle := bundles[(n/fleet)%uint64(len(bundles))]
+				if lock != nil {
+					lock.Lock()
+				}
+				s.Ingest(name, transport.KindCollection, bundle)
+				if lock != nil {
+					lock.Unlock()
+				}
+			}
+		})
+	}
+	b.Run("striped", func(b *testing.B) { run(b, nil) })
+	b.Run("serialized", func(b *testing.B) { run(b, new(sync.Mutex)) })
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rattd
+
+const raceEnabled = false

@@ -11,14 +11,29 @@
 // simulation clock: freshness bookkeeping that needs wall time lives
 // with the caller; protocol-level replay protection (nonce binding,
 // monotonic counters) is self-contained.
+//
+// Concurrency model (one shard's insides). The transport delivers
+// frames on RecvQueues dispatch workers at once, so the Server is
+// built to verify in parallel rather than serialize on a daemon-wide
+// mutex: per-prover freshness state (outstanding challenges, ERASMUS
+// dedup windows, SeED watermarks) is partitioned across lock stripes
+// keyed by prover-name hash, so handlers for different provers never
+// contend; all crypto — PRF nonce derivation through pooled MAC
+// state, batch tag verification through the read-mostly expected-tag
+// cache — runs outside every stripe lock; and outcome counters are
+// atomics. A stripe lock is held only for map touches measured in
+// nanoseconds, which is what lets a shard's throughput scale with the
+// cores the transport already fans out to.
 package rattd
 
 import (
 	"crypto/hmac"
-	"crypto/sha256"
 	"fmt"
 	"math"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"saferatt/internal/core"
 	"saferatt/internal/suite"
@@ -29,6 +44,22 @@ import (
 // DefaultKey is the fleet-shared attestation key devices ship with
 // (mirrors the device default; real deployments provision their own).
 var DefaultKey = []byte("saferatt-default-attestation-key")
+
+// PRF labels, held as byte slices so hot-path derivations write them
+// without a per-call string conversion.
+var (
+	labelChallenge = []byte("rattd-challenge")
+	labelErasmus   = []byte("erasmus-nonce")
+	labelSeedNonce = []byte("seed-nonce")
+	labelSeedFor   = []byte("rattd-seed:")
+)
+
+// DefaultPendingCap bounds outstanding (unanswered) SMART challenges
+// held across the server. A prover that hellos and never reports used
+// to leak its nonce entry forever; past the cap the oldest entry is
+// evicted — its owner re-initiates on timeout, which is the SMART
+// recovery path anyway.
+const DefaultPendingCap = 1 << 16
 
 // Config assembles a Server.
 type Config struct {
@@ -50,6 +81,15 @@ type Config struct {
 	// bundles from a fleet interleave a handful of epochs; defaults
 	// to 64.
 	KeepEpochs int
+	// Stripes is the number of lock stripes the per-prover freshness
+	// state is partitioned across (rounded up to a power of two).
+	// Defaults to 4×GOMAXPROCS: enough that concurrent dispatch
+	// workers rarely collide, cheap enough to be irrelevant at 1.
+	Stripes int
+	// PendingCap bounds outstanding SMART challenges across the
+	// server (oldest evicted first); defaults to DefaultPendingCap.
+	// Negative means 1 (the minimum).
+	PendingCap int
 	// Lease, when set, supplies challenge nonce-counter epoch leases
 	// (normally from a tier Coordinator). It is called off the hot
 	// path — once per exhausted window, not per challenge — so a
@@ -61,7 +101,10 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Counts aggregates the daemon's verification outcomes.
+// Counts aggregates the daemon's verification outcomes. The fields
+// are maintained as independent atomics; a snapshot taken while
+// handlers are running is exact per field but not a single
+// linearization point across fields.
 type Counts struct {
 	Challenges uint64 // hellos answered with a fresh nonce
 	Accepted   uint64 // reports that verified clean
@@ -69,19 +112,54 @@ type Counts struct {
 	Replays    uint64 // reports rejected as replays specifically
 }
 
-// Server is the verifier daemon.
+// Server is the verifier daemon. All handler paths are safe for
+// concurrent use: the transport's dispatch workers call straight in.
 type Server struct {
-	cfg Config
-	tr  transport.Transport
+	cfg   Config
+	tr    transport.Transport
+	batch *verifier.Batch
 
-	mu       sync.Mutex
-	batch    *verifier.Batch
-	pending  map[string][]byte          // prover -> outstanding challenge nonce
-	seen     map[string]map[uint64]bool // prover -> accepted ERASMUS counters
-	seedLast map[string]uint64          // prover -> highest accepted SeED counter
-	lease    EpochLease                 // current challenge-counter lease
-	nonceCtr uint64                     // next counter within the lease
-	counts   Counts
+	stripes []*stripe
+	mask    uint64
+
+	// The challenge-counter lease has its own small mutex: hellos
+	// touch it for a counter increment (and once per exhausted window
+	// for a coordinator round-trip); no report path ever takes it.
+	leaseMu  sync.Mutex
+	lease    EpochLease
+	nonceCtr uint64
+
+	enrolled atomic.Int64
+	cnt      struct {
+		challenges, accepted, rejected, replays atomic.Uint64
+	}
+}
+
+// stripe owns the freshness state of the provers that hash to it.
+// Every map touch happens under mu; nothing slower than a map
+// operation ever does.
+type stripe struct {
+	mu         sync.Mutex
+	pending    map[string]pendingChallenge // prover -> outstanding challenge
+	order      []pendingRef                // insertion order for oldest-first eviction
+	seq        uint64                      // challenge insertion sequence
+	pendingCap int
+	seen       map[string]*DedupWindow // prover -> ERASMUS replay window
+	seedLast   map[string]uint64       // prover -> highest accepted SeED counter
+}
+
+type pendingChallenge struct {
+	nonce []byte
+	seq   uint64
+}
+
+// pendingRef is one entry of a stripe's eviction FIFO. A re-hello
+// supersedes the prover's entry (new seq), leaving the old ref stale;
+// stale refs are skipped at eviction and compacted away when they
+// outnumber live entries.
+type pendingRef struct {
+	name string
+	seq  uint64
 }
 
 // Serve binds a new Server to tr under cfg.Name and starts answering.
@@ -102,13 +180,31 @@ func Serve(tr transport.Transport, cfg Config) (*Server, error) {
 	if cfg.KeepEpochs == 0 {
 		cfg.KeepEpochs = 64
 	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.PendingCap == 0 {
+		cfg.PendingCap = DefaultPendingCap
+	}
+	nstripes := 1 << bits.Len(uint(cfg.Stripes-1)) // next power of two
+	perStripeCap := cfg.PendingCap / nstripes
+	if perStripeCap < 1 {
+		perStripeCap = 1
+	}
 	s := &Server{
-		cfg:      cfg,
-		tr:       tr,
-		batch:    verifier.NewBatch(cfg.Hash, cfg.Ref, cfg.BlockSize),
-		pending:  map[string][]byte{},
-		seen:     map[string]map[uint64]bool{},
-		seedLast: map[string]uint64{},
+		cfg:     cfg,
+		tr:      tr,
+		batch:   verifier.NewBatch(cfg.Hash, cfg.Ref, cfg.BlockSize),
+		stripes: make([]*stripe, nstripes),
+		mask:    uint64(nstripes - 1),
+	}
+	for i := range s.stripes {
+		s.stripes[i] = &stripe{
+			pending:    map[string]pendingChallenge{},
+			pendingCap: perStripeCap,
+			seen:       map[string]*DedupWindow{},
+			seedLast:   map[string]uint64{},
+		}
 	}
 	s.batch.KeepEpochs = cfg.KeepEpochs
 	// Prefer the zero-copy receive path: report fields arrive as views
@@ -136,48 +232,49 @@ func (s *Server) Name() string { return s.cfg.Name }
 // the caller's to close (it may host other endpoints).
 func (s *Server) Close() { s.tr.Unbind(s.cfg.Name) }
 
+// Stripes returns the server's stripe count (diagnostics).
+func (s *Server) Stripes() int { return len(s.stripes) }
+
 // Counts returns a snapshot of outcome counters.
 func (s *Server) Counts() Counts {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.counts
+	return Counts{
+		Challenges: s.cnt.challenges.Load(),
+		Accepted:   s.cnt.accepted.Load(),
+		Rejected:   s.cnt.rejected.Load(),
+		Replays:    s.cnt.replays.Load(),
+	}
 }
 
 // BatchStats exposes the amortization counters of the batch verifier.
-func (s *Server) BatchStats() verifier.BatchStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.batch.Stats()
-}
+func (s *Server) BatchStats() verifier.BatchStats { return s.batch.Stats() }
 
 // Lease returns the server's current challenge-counter lease (zero
 // until the first hello pulls one).
 func (s *Server) Lease() EpochLease {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
 	return s.lease
 }
 
 // Enrolled counts the distinct provers the server holds freshness
 // state for — the "enrollment" that checkpoint/restore preserves, so
 // a restarted shard keeps rejecting replays and accepting fresh
-// counters without the fleet re-registering.
-func (s *Server) Enrolled() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := len(s.seen)
-	for p := range s.seedLast {
-		if _, ok := s.seen[p]; !ok {
-			n++
-		}
-	}
-	return n
+// counters without the fleet re-registering. Maintained as a counter
+// at insert time (it is read per stats tick; scanning every stripe's
+// tables there would serialize against the ingest path).
+func (s *Server) Enrolled() int { return int(s.enrolled.Load()) }
+
+// stripeFor picks the lock stripe owning a prover's freshness state.
+// The name hash is mixed through splitmix64 so provers that rendezvous
+// onto one shard still spread across its stripes.
+func (s *Server) stripeFor(name string) *stripe {
+	return s.stripes[mix64(fnv64a(name))&s.mask]
 }
 
 // leaseFn pulls the next epoch lease: the configured coordinator
 // hook, or a self-lease over the whole counter space when the server
-// runs unsharded. Called with s.mu held; the coordinator never calls
-// back into a shard, so the nesting cannot deadlock.
+// runs unsharded. Called with leaseMu held; the coordinator never
+// calls back into a shard, so the nesting cannot deadlock.
 func (s *Server) leaseFn() EpochLease {
 	if s.cfg.Lease != nil {
 		return s.cfg.Lease()
@@ -185,19 +282,26 @@ func (s *Server) leaseFn() EpochLease {
 	return EpochLease{Lo: 1, Hi: math.MaxUint64}
 }
 
+// nextChallengeCtr allocates one challenge counter out of the lease,
+// pulling a fresh lease when the window runs dry — in a sharded tier
+// the coordinator is touched once per DefaultLeaseWindow challenges,
+// never per request.
+func (s *Server) nextChallengeCtr() uint64 {
+	s.leaseMu.Lock()
+	if s.nonceCtr < s.lease.Lo || s.nonceCtr >= s.lease.Hi {
+		s.lease = s.leaseFn()
+		s.nonceCtr = s.lease.Lo
+	}
+	c := s.nonceCtr
+	s.nonceCtr++
+	s.leaseMu.Unlock()
+	return c
+}
+
 // onFrame is the zero-copy receive path: report fields are views into
 // the transport buffer, consumed entirely inside the handler.
 func (s *Server) onFrame(f *transport.Frame) {
-	switch f.Kind {
-	case transport.KindHello:
-		s.handleHello(f.From)
-	case transport.KindReport:
-		s.handleReport(f.From, f.Reports)
-	case transport.KindCollection:
-		s.handleCollection(f.From, f.Reports)
-	case transport.KindSeedReport:
-		s.handleSeed(f.From, f.Reports)
-	}
+	s.Ingest(f.From, f.Kind, f.Reports)
 }
 
 // onMsg is the owning-copy receive path for transports without frame
@@ -214,44 +318,87 @@ func (s *Server) onMsg(m transport.Msg) {
 			}
 		}
 	}
-	switch m.Kind {
+	s.Ingest(m.From, m.Kind, reports)
+}
+
+// Ingest delivers one bundle to the server exactly as if it had
+// arrived on the transport — the in-process embedding path used by
+// benchmarks and the million-prover scale experiment (E15): no codec,
+// no socket, the handler runs synchronously on the caller's
+// goroutine. Safe for concurrent use from any number of goroutines.
+// Report-less kinds (KindHello) take nil reports; replies (challenge,
+// verdict) go out through the server's transport as usual.
+func (s *Server) Ingest(from string, kind transport.Kind, reports []core.Report) {
+	switch kind {
 	case transport.KindHello:
-		s.handleHello(m.From)
+		s.handleHello(from)
 	case transport.KindReport:
-		s.handleReport(m.From, reports)
+		s.handleReport(from, reports)
 	case transport.KindCollection:
-		s.handleCollection(m.From, reports)
+		s.handleCollection(from, reports)
 	case transport.KindSeedReport:
-		s.handleSeed(m.From, reports)
+		s.handleSeed(from, reports)
 	}
 }
 
 // handleHello answers a prover's hello with a fresh challenge nonce
-// (step 1 of the §2.2 timeline, prover-initiated so it traverses NATs).
-// The counter behind the nonce comes out of the server's current
-// epoch lease; a fresh lease is pulled only when the window runs dry,
-// so in a sharded tier the coordinator is touched once per
-// DefaultLeaseWindow challenges, never per request.
+// (step 1 of the §2.2 timeline, prover-initiated so it traverses
+// NATs). The counter comes out of the epoch lease, the nonce is
+// derived off-lock, and only the pending-table insert touches the
+// prover's stripe.
 func (s *Server) handleHello(from string) {
-	s.mu.Lock()
-	if s.nonceCtr < s.lease.Lo || s.nonceCtr >= s.lease.Hi {
-		s.lease = s.leaseFn()
-		s.nonceCtr = s.lease.Lo
-	}
-	nonce := core.PRF(s.cfg.Key, "rattd-challenge", s.nonceCtr)[:16]
-	s.nonceCtr++
-	s.pending[from] = nonce
-	s.counts.Challenges++
-	s.mu.Unlock()
+	ctr := s.nextChallengeCtr()
+	nonce := core.AppendPRF(make([]byte, 0, 32), s.cfg.Key, labelChallenge, ctr)[:16]
+	st := s.stripeFor(from)
+	st.mu.Lock()
+	st.putPending(from, nonce)
+	st.mu.Unlock()
+	s.cnt.challenges.Add(1)
 	s.tr.Send(transport.Msg{From: s.cfg.Name, To: from, Kind: transport.KindChallenge, Nonce: nonce})
 }
 
+// putPending inserts an outstanding challenge, evicting oldest-first
+// past the stripe's share of PendingCap. Caller holds st.mu.
+func (st *stripe) putPending(name string, nonce []byte) {
+	st.seq++
+	st.pending[name] = pendingChallenge{nonce: nonce, seq: st.seq}
+	st.order = append(st.order, pendingRef{name: name, seq: st.seq})
+	for len(st.pending) > st.pendingCap {
+		ref := st.order[0]
+		st.order = st.order[1:]
+		if p, ok := st.pending[ref.name]; ok && p.seq == ref.seq {
+			delete(st.pending, ref.name)
+		}
+	}
+	// Re-hellos leave stale refs behind; compact when they dominate so
+	// the FIFO stays O(live entries) even under a re-hello storm.
+	if len(st.order) > 2*st.pendingCap && len(st.order) > 2*len(st.pending) {
+		live := st.order[:0]
+		for _, ref := range st.order {
+			if p, ok := st.pending[ref.name]; ok && p.seq == ref.seq {
+				live = append(live, ref)
+			}
+		}
+		st.order = live
+	}
+}
+
+// takePending consumes a prover's outstanding challenge.
+func (st *stripe) takePending(name string) ([]byte, bool) {
+	st.mu.Lock()
+	p, ok := st.pending[name]
+	if ok {
+		delete(st.pending, name)
+	}
+	st.mu.Unlock()
+	return p.nonce, ok
+}
+
 // handleReport validates a challenge response and answers with a
-// verdict.
+// verdict. The pending lookup is the only stripe touch; nonce
+// comparison and tag verification run off-lock.
 func (s *Server) handleReport(from string, reports []core.Report) {
-	s.mu.Lock()
-	nonce, outstanding := s.pending[from]
-	delete(s.pending, from)
+	nonce, outstanding := s.stripeFor(from).takePending(from)
 	ok, reason := false, ""
 	if !outstanding {
 		reason = "unsolicited report"
@@ -265,50 +412,84 @@ func (s *Server) handleReport(from string, reports []core.Report) {
 				ok, reason = false, "nonce mismatch"
 				break
 			}
-			if ok, reason = s.verifyLocked(r); !ok {
+			if ok, reason = s.verify(r); !ok {
 				break
 			}
 		}
 	}
 	s.count(ok)
-	s.mu.Unlock()
-	s.logf("report %s: ok=%v %s", from, ok, reason)
+	if s.cfg.Logf != nil {
+		s.logf("report %s: ok=%v %s", from, ok, reason)
+	}
 	s.tr.Send(transport.Msg{From: s.cfg.Name, To: from, Kind: transport.KindVerdict, OK: ok, Reason: reason})
 }
+
+// ingestScratch holds the reusable derivation buffers of one bundle's
+// ingest: pooled so the steady-state verify path allocates nothing.
+type ingestScratch struct {
+	nonce []byte // PRF output
+	seed  []byte // derived SeED schedule seed
+	name  []byte // prover name bytes (string→[]byte staging)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
 
 // handleCollection validates an ERASMUS measurement history: per-report
 // tags, counter-bound self-derived nonces, no replayed and no
 // non-monotonic counters (§3.3). Each offending report is rejected
-// exactly once; the verdict covers the whole bundle.
+// exactly once; the verdict covers the whole bundle. Replay state is
+// the prover's bounded DedupWindow: the stripe lock is taken for the
+// window probe and (after an off-lock tag verification) the commit,
+// which re-checks the window so two racing bundles for one prover
+// cannot double-accept a counter.
 func (s *Server) handleCollection(from string, reports []core.Report) {
-	s.mu.Lock()
+	st := s.stripeFor(from)
 	ok, reason := true, ""
 	if len(reports) == 0 {
 		ok, reason = false, "empty collection"
 	}
-	seen := s.seen[from]
-	if seen == nil {
-		seen = map[uint64]bool{}
-		s.seen[from] = seen
+	// Enrollment: the prover gets its window on first contact, so a
+	// restarted shard's checkpoint covers provers whose every report
+	// was rejected too (they are enrolled, just never clean).
+	st.mu.Lock()
+	w := st.seen[from]
+	if w == nil {
+		w = &DedupWindow{}
+		st.seen[from] = w
+		if _, dup := st.seedLast[from]; !dup {
+			s.enrolled.Add(1)
+		}
 	}
+	st.mu.Unlock()
+
+	sc := scratchPool.Get().(*ingestScratch)
 	var prevCtr uint64
 	for i := range reports {
 		r := &reports[i]
 		rok, rreason := true, ""
-		want := core.PRF(s.cfg.Key, "erasmus-nonce", r.Counter)
+		replay := false
+		sc.nonce = core.AppendPRF(sc.nonce[:0], s.cfg.Key, labelErasmus, r.Counter)
+		st.mu.Lock()
+		seen := w.Seen(r.Counter)
+		st.mu.Unlock()
 		switch {
-		case !hmac.Equal(r.Nonce, want):
+		case !hmac.Equal(r.Nonce, sc.nonce):
 			rok, rreason = false, "self-measurement nonce not bound to counter"
-		case seen[r.Counter]:
-			rok, rreason = false, "replayed measurement counter"
-			s.counts.Replays++
+		case seen:
+			rok, rreason, replay = false, "replayed measurement counter", true
 		case i > 0 && r.Counter <= prevCtr:
 			rok, rreason = false, "non-monotonic measurement counter"
 		default:
-			rok, rreason = s.verifyLocked(r)
+			if rok, rreason = s.verify(r); rok {
+				st.mu.Lock()
+				if !w.Add(r.Counter) { // lost a same-counter race
+					rok, rreason, replay = false, "replayed measurement counter", true
+				}
+				st.mu.Unlock()
+			}
 		}
-		if rok {
-			seen[r.Counter] = true
+		if replay {
+			s.cnt.replays.Add(1)
 		}
 		s.count(rok)
 		if !rok && ok {
@@ -316,42 +497,70 @@ func (s *Server) handleCollection(from string, reports []core.Report) {
 		}
 		prevCtr = r.Counter
 	}
-	s.mu.Unlock()
-	s.logf("collection %s (%d reports): ok=%v %s", from, len(reports), ok, reason)
+	scratchPool.Put(sc)
+	if s.cfg.Logf != nil { // guarded: the variadic boxing allocates
+		s.logf("collection %s (%d reports): ok=%v %s", from, len(reports), ok, reason)
+	}
 	s.tr.Send(transport.Msg{From: s.cfg.Name, To: from, Kind: transport.KindVerdict, OK: ok, Reason: reason})
 }
 
 // handleSeed ingests unsolicited SeED reports: nonce bound to the
-// prover's derived seed and counter, counters strictly monotonic.
-// SeED is non-interactive, so no verdict is sent back.
+// prover's derived seed and counter, counters strictly monotonic
+// above a per-prover watermark. SeED is non-interactive, so no
+// verdict is sent back. Seed derivation and verification run
+// off-lock; the watermark commit re-checks under the stripe lock.
 func (s *Server) handleSeed(from string, reports []core.Report) {
-	s.mu.Lock()
-	seed := SeedFor(s.cfg.Key, from)
+	st := s.stripeFor(from)
+	sc := scratchPool.Get().(*ingestScratch)
+	sc.name = append(sc.name[:0], from...)
+	var err error
+	if sc.seed, err = suite.AppendMAC(sc.seed[:0], suite.SHA256, s.cfg.Key, labelSeedFor, sc.name); err != nil {
+		scratchPool.Put(sc)
+		return
+	}
 	for i := range reports {
 		r := &reports[i]
 		rok, rreason := true, ""
-		want := core.PRF(seed, "seed-nonce", r.Counter)
+		replay := false
+		sc.nonce = core.AppendPRF(sc.nonce[:0], sc.seed, labelSeedNonce, r.Counter)
+		st.mu.Lock()
+		last := st.seedLast[from]
+		st.mu.Unlock()
 		switch {
-		case !hmac.Equal(r.Nonce, want):
+		case !hmac.Equal(r.Nonce, sc.nonce):
 			rok, rreason = false, "SeED nonce not bound to counter"
-		case r.Counter <= s.seedLast[from]:
-			rok, rreason = false, "replayed SeED report"
-			s.counts.Replays++
+		case r.Counter <= last:
+			rok, rreason, replay = false, "replayed SeED report", true
 		default:
-			rok, rreason = s.verifyLocked(r)
+			if rok, rreason = s.verify(r); rok {
+				st.mu.Lock()
+				prev, had := st.seedLast[from]
+				if had && r.Counter <= prev { // lost a race since the pre-check
+					rok, rreason, replay = false, "replayed SeED report", true
+				} else {
+					if !had && st.seen[from] == nil {
+						s.enrolled.Add(1)
+					}
+					st.seedLast[from] = r.Counter
+				}
+				st.mu.Unlock()
+			}
 		}
-		if rok {
-			s.seedLast[from] = r.Counter
+		if replay {
+			s.cnt.replays.Add(1)
 		}
 		s.count(rok)
-		s.logf("seed-report %s ctr=%d: ok=%v %s", from, r.Counter, rok, rreason)
+		if s.cfg.Logf != nil {
+			s.logf("seed-report %s ctr=%d: ok=%v %s", from, r.Counter, rok, rreason)
+		}
 	}
-	s.mu.Unlock()
+	scratchPool.Put(sc)
 }
 
-// verifyLocked checks one report's tag through the batch fast path.
-// Callers hold s.mu.
-func (s *Server) verifyLocked(r *core.Report) (bool, string) {
+// verify checks one report's tag through the batch fast path. Runs
+// under no lock: the batch's expected-tag cache is read-mostly
+// concurrent.
+func (s *Server) verify(r *core.Report) (bool, string) {
 	if r.RegionCount > 0 || r.Data != nil {
 		// Per-device regions and reported data blocks defeat the shared
 		// expected tag; the daemon serves uniform fleets.
@@ -369,9 +578,9 @@ func (s *Server) verifyLocked(r *core.Report) (bool, string) {
 
 func (s *Server) count(ok bool) {
 	if ok {
-		s.counts.Accepted++
+		s.cnt.accepted.Add(1)
 	} else {
-		s.counts.Rejected++
+		s.cnt.rejected.Add(1)
 	}
 }
 
@@ -384,8 +593,9 @@ func (s *Server) logf(format string, args ...any) {
 // SeedFor derives a prover's SeED schedule seed from the shared key
 // and its name; daemon and prover compute it independently.
 func SeedFor(key []byte, prover string) []byte {
-	mac := hmac.New(sha256.New, key)
-	mac.Write([]byte("rattd-seed:"))
-	mac.Write([]byte(prover))
-	return mac.Sum(nil)
+	out, err := suite.AppendMAC(nil, suite.SHA256, key, labelSeedFor, []byte(prover))
+	if err != nil {
+		panic(err) // SHA-256 is always registered
+	}
+	return out
 }

@@ -33,12 +33,16 @@ func BenchmarkShard_CheckpointRoundTrip(b *testing.B) {
 	cp := &Checkpoint{
 		Lease:    EpochLease{Shard: 2, Epoch: 9, Lo: 1 << 20, Hi: 1<<20 + 1<<16},
 		NonceCtr: 1<<20 + 500,
-		Erasmus:  map[string][]uint64{},
+		Erasmus:  map[string]DedupWindow{},
 		Seed:     map[string]uint64{},
 	}
 	for i := 0; i < 1000; i++ {
 		name := fmt.Sprintf("prv%05d", i)
-		cp.Erasmus[name] = []uint64{1, 2, 3, 4}
+		var w DedupWindow
+		for c := uint64(1); c <= 4; c++ {
+			w.Add(c)
+		}
+		cp.Erasmus[name] = w
 		cp.Seed[name] = 7
 	}
 	b.ReportAllocs()

@@ -162,9 +162,9 @@ func TestCheckpointCodec(t *testing.T) {
 	cp := &Checkpoint{
 		Lease:    EpochLease{Shard: 3, Epoch: 17, Lo: 65537, Hi: 131073},
 		NonceCtr: 65600,
-		Erasmus: map[string][]uint64{
-			"prv00001": {1, 2, 3},
-			"prv00007": {5, 9},
+		Erasmus: map[string]DedupWindow{
+			"prv00001": windowOf(1, 2, 3),
+			"prv00007": windowOf(5, 9),
 			"zz-last":  {},
 		},
 		Seed: map[string]uint64{"prv00001": 12, "seed-only": 4},
@@ -320,7 +320,7 @@ func TestShardRestartMidEpoch(t *testing.T) {
 	if !cp.Lease.Valid() || cp.NonceCtr <= cp.Lease.Lo {
 		t.Fatalf("checkpoint not mid-epoch: %+v", cp.Lease)
 	}
-	if len(cp.Erasmus[name]) != 3 || cp.Seed[name] != 5 {
+	if w := cp.Erasmus[name]; w.Count() != 3 || cp.Seed[name] != 5 {
 		t.Fatalf("checkpoint missing enrollment: %+v", cp)
 	}
 	addr := lis[victim].Addr().String()

@@ -155,6 +155,24 @@ func (s Scheme) ReleaseTagger(t Tagger) {
 	}
 }
 
+// AppendMAC appends MAC_{id,key}(seg1 || seg2) to dst and returns the
+// extended slice, computing through pooled keyed state — the
+// allocation-free form of "derive a value by MACing a couple of short
+// segments" (seed derivation, nonce binding checks). Either segment
+// may be nil. Callers that reuse dst across calls pay no steady-state
+// allocations.
+func AppendMAC(dst []byte, id HashID, key, seg1, seg2 []byte) ([]byte, error) {
+	m, err := AcquireMAC(id, key)
+	if err != nil {
+		return dst, err
+	}
+	m.Write(seg1)
+	m.Write(seg2)
+	dst = m.Sum(dst)
+	ReleaseMAC(id, key, m)
+	return dst, nil
+}
+
 // VerifyStream checks tag over the canonical byte stream produced by
 // emit, which receives the tagger as its writer. Unlike VerifyTag this
 // needs no intermediate buffer holding the whole attested image — the

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"crypto/hmac"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"saferatt/internal/core"
 	"saferatt/internal/inccache"
@@ -24,38 +26,52 @@ import (
 // blocks vary per device and are not batchable; callers route them to
 // the ordinary per-report path (see swarm.Collector.Judge).
 //
-// Expected tags are cached per nonce epoch: by default a nonce
-// different from the previous report's clears the cache, so memory
-// stays bounded by the number of (key, round, mode) groups inside one
-// round. Streams that interleave reports from several epochs — a
-// daemon ingesting ERASMUS collections, where each self-measurement
-// carries its own counter-derived nonce — set KeepEpochs to retain
-// that many epochs' groups (evicted oldest-first) instead of thrashing
-// the cache on every nonce change.
+// Expected tags are cached per nonce epoch, with the whole epoch→group
+// table held as an immutable value behind an atomic pointer: Verify is
+// safe for any number of concurrent callers, and the steady-state hit
+// path — the one a daemon's dispatch workers hammer — takes no lock
+// and performs no allocation. Inserts (one per new (epoch, group),
+// i.e. once per fleet-wide expected-tag computation) copy-on-write the
+// table under a writer mutex and publish it atomically; concurrent
+// misses on the same group may compute the tag redundantly, which is
+// harmless and rare. Eviction is insertion-ordered and bounded by
+// KeepEpochs (≤1 keeps the single-epoch behavior).
 type Batch struct {
 	// KeepEpochs bounds how many nonce epochs of expected tags stay
 	// cached at once. Zero or one keeps the single-epoch behavior.
+	// Set it before the first Verify; it is read on the insert path.
 	KeepEpochs int
 
 	hash      suite.HashID
 	ref       []byte
 	blockSize int
 	nblocks   int
-	golden    *inccache.ImageCache // lazily built for incremental reports
-	epoch     []byte               // nonce the cached groups belong to
-	expected  map[groupKey][]byte  // group -> expected tag
-	epochs    map[string]map[groupKey][]byte
-	epochLRU  []string // insertion order for eviction
-	order     []int    // traversal-order scratch
-	stats     BatchStats
 
-	// lastKey/lastKeyBytes memoize the []byte -> string conversion of
-	// the attestation key: a fleet shares one key, so the steady state
-	// is a bytes.Equal hit and zero allocations per Verify. The daemon
-	// calls Verify with report views aliasing transport buffers; the
-	// memo copies, so nothing here retains caller memory.
-	lastKey      string
-	lastKeyBytes []byte
+	cache  atomic.Pointer[batchCache]        // immutable epoch→group→tag table
+	golden atomic.Pointer[inccache.ImageCache] // lazily built for incremental reports
+	key    atomic.Pointer[keyMemo]           // []byte→string memo of the fleet key
+	mu     sync.Mutex                        // serializes copy-on-write publication
+
+	reports  atomic.Uint64
+	computed atomic.Uint64
+}
+
+// batchCache is one published generation of the expected-tag table.
+// Everything reachable from it is immutable: readers probe with no
+// synchronization beyond the pointer load.
+type batchCache struct {
+	epochs map[string]map[groupKey][]byte
+	order  []string // insertion order, for KeepEpochs eviction
+}
+
+// keyMemo memoizes the []byte→string conversion of the attestation
+// key: a fleet shares one key, so the steady state is a bytes.Equal
+// hit with zero allocations. The memo owns its copy — Verify is called
+// with report views aliasing transport buffers, and nothing here may
+// retain caller memory.
+type keyMemo struct {
+	str string
+	b   []byte
 }
 
 type groupKey struct {
@@ -82,7 +98,6 @@ func NewBatch(hash suite.HashID, ref []byte, blockSize int) *Batch {
 		ref:       ref,
 		blockSize: blockSize,
 		nblocks:   len(ref) / blockSize,
-		expected:  map[groupKey][]byte{},
 	}
 }
 
@@ -91,14 +106,15 @@ func NewBatch(hash suite.HashID, ref []byte, blockSize int) *Batch {
 // verifier and devices then share one set of per-block digests.
 func NewBatchGolden(hash suite.HashID, g *mem.Golden) *Batch {
 	b := NewBatch(hash, g.Bytes(), g.BlockSize())
-	b.golden = inccache.SharedImage(g, inccache.DigestHash(hash))
+	b.golden.Store(inccache.SharedImage(g, inccache.DigestHash(hash)))
 	return b
 }
 
 // Verify checks one report against the golden image under the given
 // attestation key (used both to derive the traversal order and as the
 // MAC key, mirroring the prover). Reports in the same group after the
-// first cost one MAC comparison and no hashing.
+// first cost one MAC comparison, no hashing, no locks, and no
+// allocations. Safe for concurrent use.
 func (b *Batch) Verify(key []byte, r *core.Report, shuffled bool) (bool, error) {
 	if r.BlockSize != b.blockSize || r.NumBlocks != b.nblocks {
 		return false, fmt.Errorf("verifier: geometry mismatch: report %dx%d vs batch %dx%d",
@@ -107,54 +123,68 @@ func (b *Batch) Verify(key []byte, r *core.Report, shuffled bool) (bool, error) 
 	if r.RegionCount > 0 || r.Data != nil {
 		return false, fmt.Errorf("verifier: region/data reports are not batchable")
 	}
-	groups := b.groups(r.Nonce)
-	if !bytes.Equal(key, b.lastKeyBytes) {
-		b.lastKey = string(key)
-		b.lastKeyBytes = append(b.lastKeyBytes[:0], key...)
+	km := b.key.Load()
+	if km == nil || !bytes.Equal(key, km.b) {
+		km = &keyMemo{str: string(key), b: append([]byte(nil), key...)}
+		b.key.Store(km)
 	}
-	k := groupKey{key: b.lastKey, round: r.Round, shuffled: shuffled, incremental: r.Incremental}
-	exp, ok := groups[k]
-	if !ok {
-		var err error
-		exp, err = b.compute(key, r, shuffled)
-		if err != nil {
-			return false, err
+	k := groupKey{key: km.str, round: r.Round, shuffled: shuffled, incremental: r.Incremental}
+	// The map probe with an inline []byte→string conversion does not
+	// allocate (compiler-recognized pattern); the conversion is only
+	// materialized on a miss, when the epoch key must be owned.
+	if c := b.cache.Load(); c != nil {
+		if exp, ok := c.epochs[string(r.Nonce)][k]; ok {
+			b.reports.Add(1)
+			return hmac.Equal(exp, r.Tag), nil
 		}
-		groups[k] = exp
-		b.stats.Computed++
 	}
-	b.stats.Reports++
+	exp, err := b.compute(key, r, shuffled)
+	if err != nil {
+		return false, err
+	}
+	b.computed.Add(1)
+	b.publish(string(r.Nonce), k, exp)
+	b.reports.Add(1)
 	return hmac.Equal(exp, r.Tag), nil
 }
 
-// groups returns the expected-tag cache for the given nonce epoch,
-// evicting per KeepEpochs.
-func (b *Batch) groups(nonce []byte) map[groupKey][]byte {
-	if b.KeepEpochs <= 1 {
-		if !bytes.Equal(nonce, b.epoch) {
-			clear(b.expected)
-			b.epoch = append(b.epoch[:0], nonce...)
+// publish inserts (epoch, group) → tag by copy-on-write: clone the
+// table, insert, evict past KeepEpochs, swap the pointer. Runs once
+// per expected-tag computation — off every hit path.
+func (b *Batch) publish(epoch string, k groupKey, exp []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keep := b.KeepEpochs
+	if keep < 1 {
+		keep = 1
+	}
+	old := b.cache.Load()
+	next := &batchCache{epochs: map[string]map[groupKey][]byte{}}
+	if old != nil {
+		for e, g := range old.epochs {
+			next.epochs[e] = g
 		}
-		return b.expected
+		next.order = append(next.order, old.order...)
 	}
-	if b.epochs == nil {
-		b.epochs = make(map[string]map[groupKey][]byte, b.KeepEpochs)
+	g, ok := next.epochs[epoch]
+	if !ok {
+		next.epochs[epoch] = map[groupKey][]byte{k: exp}
+		next.order = append(next.order, epoch)
+	} else if _, dup := g[k]; !dup {
+		// Clone the epoch's group map before mutating: the published
+		// generation may be mid-probe on another goroutine.
+		ng := make(map[groupKey][]byte, len(g)+1)
+		for gk, tag := range g {
+			ng[gk] = tag
+		}
+		ng[k] = exp
+		next.epochs[epoch] = ng
 	}
-	// The map probe with an inline []byte->string conversion does not
-	// allocate (compiler-recognized pattern); the conversion is only
-	// materialized on a miss, when the epoch key must be owned.
-	if g := b.epochs[string(nonce)]; g != nil {
-		return g
+	for len(next.order) > keep {
+		delete(next.epochs, next.order[0])
+		next.order = next.order[1:]
 	}
-	e := string(nonce)
-	g := map[groupKey][]byte{}
-	b.epochs[e] = g
-	b.epochLRU = append(b.epochLRU, e)
-	if len(b.epochLRU) > b.KeepEpochs {
-		delete(b.epochs, b.epochLRU[0])
-		b.epochLRU = b.epochLRU[1:]
-	}
-	return g
+	b.cache.Store(next)
 }
 
 // compute produces the expected tag for a group, streaming golden
@@ -162,24 +192,38 @@ func (b *Batch) groups(nonce []byte) map[groupKey][]byte {
 // pooled MAC state.
 func (b *Batch) compute(key []byte, r *core.Report, shuffled bool) ([]byte, error) {
 	scheme := suite.Scheme{Hash: b.hash, Key: key}
-	b.order = core.AppendOrderRegion(b.order[:0], key, r.Nonce, r.Round, 0, b.nblocks, shuffled)
+	sc := orderScratch.Get().(*orderBuf)
+	defer orderScratch.Put(sc)
+	sc.order = core.AppendOrderRegion(sc.order[:0], key, r.Nonce, r.Round, 0, b.nblocks, shuffled)
 	t, err := scheme.AcquireTagger()
 	if err != nil {
 		return nil, err
 	}
 	defer scheme.ReleaseTagger(t)
 	if r.Incremental {
-		if b.golden == nil {
-			b.golden = inccache.NewImage(b.ref, b.blockSize, inccache.DigestHash(b.hash))
+		g := b.golden.Load()
+		if g == nil {
+			b.mu.Lock()
+			if g = b.golden.Load(); g == nil {
+				g = inccache.NewImage(b.ref, b.blockSize, inccache.DigestHash(b.hash))
+				b.golden.Store(g)
+			}
+			b.mu.Unlock()
 		}
-		if err := core.ExpectedDigestStream(t, b.golden.DigestOK, r.Nonce, r.Round, b.order); err != nil {
+		if err := core.ExpectedDigestStream(t, g.DigestOK, r.Nonce, r.Round, sc.order); err != nil {
 			return nil, err
 		}
 	} else {
-		core.ExpectedStream(t, b.ref, b.blockSize, r.Nonce, r.Round, b.order)
+		core.ExpectedStream(t, b.ref, b.blockSize, r.Nonce, r.Round, sc.order)
 	}
 	return t.Tag()
 }
 
+type orderBuf struct{ order []int }
+
+var orderScratch = sync.Pool{New: func() any { return new(orderBuf) }}
+
 // Stats returns a snapshot of amortization counters.
-func (b *Batch) Stats() BatchStats { return b.stats }
+func (b *Batch) Stats() BatchStats {
+	return BatchStats{Reports: b.reports.Load(), Computed: b.computed.Load()}
+}

@@ -57,9 +57,11 @@ func main() {
 		verbose  = flag.Bool("v", false, "log every verification decision")
 		statsSec = flag.Int("stats", 30, "stats print interval in seconds (0 = only on exit)")
 
-		checkpoint = flag.String("checkpoint", "", "persist shard state to <path>.<shard> on exit and every stats interval")
-		restore    = flag.Bool("restore", false, "restore shard state from -checkpoint files on startup")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		checkpoint   = flag.String("checkpoint", "", "persist shard state to <path>.<shard> (base + delta chain) in the background")
+		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second, "background checkpoint interval (0 = only on exit)")
+		ckptDeltas   = flag.Int("checkpoint-max-deltas", 16, "delta files per chain before compaction into a fresh base")
+		restore      = flag.Bool("restore", false, "restore shard state from -checkpoint files on startup")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		recvLoops  = flag.Int("recv-loops", 0, "socket receive goroutines per shard (0 = default)")
 		recvQueues = flag.Int("recv-queues", 0, "receive dispatch workers per shard (0 = GOMAXPROCS, min 4; each drives the striped verify path concurrently)")
@@ -129,13 +131,38 @@ func main() {
 	if err != nil {
 		log.Fatalf("rattd: %v", err)
 	}
+	priorChains := make([]uint64, *shards)
 	if *restore {
 		cps, err := loadCheckpoints(*checkpoint, *shards)
 		if err != nil {
 			log.Fatalf("rattd: %v", err)
 		}
+		for i, cp := range cps {
+			if cp != nil {
+				priorChains[i] = cp.ChainID
+			}
+		}
 		if err := tier.Restore(cps); err != nil {
 			log.Fatalf("rattd: %v", err)
+		}
+	}
+
+	// Persistence runs in the background, one checkpointer per shard:
+	// snapshots stream stripe-at-a-time off the dirty tracking, so the
+	// verify path never stalls for a write, and a clean shard skips
+	// the write entirely.
+	var ckpts []*rattd.Checkpointer
+	if *checkpoint != "" {
+		for i := 0; i < *shards; i++ {
+			c := rattd.NewCheckpointer(tier.Shard(i), rattd.CheckpointerConfig{
+				Path:         checkpointPath(*checkpoint, i),
+				Interval:     *ckptInterval,
+				MaxDeltas:    *ckptDeltas,
+				PriorChainID: priorChains[i],
+				Logf:         log.Printf,
+			})
+			c.Start()
+			ckpts = append(ckpts, c)
 		}
 	}
 	for i, tr := range nets {
@@ -159,16 +186,26 @@ func main() {
 		log.Printf("rattd: challenges=%d accepted=%d rejected=%d replays=%d enrolled=%d balance=%.3f | net rx=%d dup=%d malformed=%d qdrop=%d batches rx=%d tx=%d coalesced=%d",
 			c.Challenges, c.Accepted, c.Rejected, c.Replays, enrolled(tier), tier.Balance(),
 			n.Received, n.Dups, n.Malformed, n.QueueDrops, n.BatchesRecv, n.BatchesSent, n.Coalesced)
-	}
-	saveCheckpoints := func() {
-		if *checkpoint == "" {
-			return
-		}
-		for i, cp := range tier.Checkpoints() {
-			path := checkpointPath(*checkpoint, i)
-			if err := os.WriteFile(path, cp.Encode(), 0o644); err != nil {
-				log.Printf("rattd: checkpoint shard %d: %v", i, err)
+		if len(ckpts) > 0 {
+			var cs rattd.CheckpointerStats
+			var lastBytes, lastDirty int64
+			var lastWrote time.Duration
+			for _, c := range ckpts {
+				s := c.Stats()
+				cs.Fulls += s.Fulls
+				cs.Deltas += s.Deltas
+				cs.Compactions += s.Compactions
+				cs.Skips += s.Skips
+				cs.Errors += s.Errors
+				lastBytes += s.LastBytes
+				lastDirty += s.LastDirty
+				if s.LastWrote > lastWrote {
+					lastWrote = s.LastWrote
+				}
 			}
+			log.Printf("rattd: ckpt full=%d delta=%d compact=%d skip=%d err=%d | last write %v %dB dirty=%d pending-dirty=%d",
+				cs.Fulls, cs.Deltas, cs.Compactions, cs.Skips, cs.Errors,
+				lastWrote.Round(time.Microsecond), lastBytes, lastDirty, dirtyCount(tier))
 		}
 	}
 
@@ -181,7 +218,6 @@ func main() {
 			select {
 			case <-tick.C:
 				printStats()
-				saveCheckpoints()
 			case <-sig:
 				goto done
 			}
@@ -195,7 +231,11 @@ done:
 	for _, tr := range nets {
 		tr.Close()
 	}
-	saveCheckpoints()
+	for i, c := range ckpts {
+		if err := c.Close(); err != nil {
+			log.Printf("rattd: final checkpoint shard %d: %v", i, err)
+		}
+	}
 	printStats()
 	fmt.Println("rattd: bye")
 }
@@ -229,13 +269,15 @@ func checkpointPath(base string, shard int) string {
 	return base + "." + strconv.Itoa(shard)
 }
 
-// loadCheckpoints reads per-shard checkpoint files; a missing file
-// cold-starts that shard, a corrupt one is a hard error.
+// loadCheckpoints reads per-shard checkpoint chains (base + deltas);
+// a missing base cold-starts that shard, a corrupt base is a hard
+// error, and stale or torn deltas degrade to the longest valid
+// prefix of the chain.
 func loadCheckpoints(base string, shards int) ([]*rattd.Checkpoint, error) {
 	cps := make([]*rattd.Checkpoint, shards)
 	for i := range cps {
 		path := checkpointPath(base, i)
-		data, err := os.ReadFile(path)
+		cp, chain, err := rattd.LoadChain(path)
 		if os.IsNotExist(err) {
 			log.Printf("rattd: no checkpoint for shard %d (%s), cold start", i, path)
 			continue
@@ -243,15 +285,27 @@ func loadCheckpoints(base string, shards int) ([]*rattd.Checkpoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		cp, err := rattd.DecodeCheckpoint(data)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", path, err)
-		}
 		cps[i] = cp
-		log.Printf("rattd: shard %d restored from %s (%d erasmus / %d seed provers, lease [%d,%d))",
-			i, path, len(cp.Erasmus), len(cp.Seed), cp.Lease.Lo, cp.Lease.Hi)
+		note := ""
+		if chain.Truncated {
+			note = ", torn tail salvaged"
+		}
+		if chain.Dropped > 0 {
+			note += fmt.Sprintf(", %d stale deltas dropped", chain.Dropped)
+		}
+		log.Printf("rattd: shard %d restored from %s +%d deltas (%d erasmus / %d seed provers, lease [%d,%d)%s)",
+			i, path, chain.Applied, len(cp.Erasmus), len(cp.Seed), cp.Lease.Lo, cp.Lease.Hi, note)
 	}
 	return cps, nil
+}
+
+// dirtyCount sums not-yet-persisted provers across shards.
+func dirtyCount(t *rattd.Tier) int64 {
+	var n int64
+	for i := 0; i < t.Len(); i++ {
+		n += t.Shard(i).DirtyCount()
+	}
+	return n
 }
 
 // enrolled sums distinct enrolled provers across shards (shards are

@@ -270,9 +270,12 @@ func E15MillionProvers(cfg E15Config) (*E15Result, error) {
 	res.Round2BytesPerProver = float64(int64(res.HeapRound2Bytes)-int64(res.HeapRound1Bytes)) / float64(cfg.Provers)
 
 	cpStart := time.Now()
-	cpBytes := srv.Checkpoint().Encode()
+	cpStats, err := srv.WriteCheckpoint(io.Discard, rattd.SnapshotOptions{})
+	if err != nil {
+		return res, fmt.Errorf("e15: checkpoint: %v", err)
+	}
 	res.CheckpointNS = time.Since(cpStart).Nanoseconds()
-	res.CheckpointBytes = len(cpBytes)
+	res.CheckpointBytes = int(cpStats.Bytes)
 
 	// Internal consistency: conservation and exactly-once.
 	wantAccepted := uint64(cfg.Provers)*2*h + nSeed

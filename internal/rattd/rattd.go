@@ -129,8 +129,9 @@ type Server struct {
 	lease    EpochLease
 	nonceCtr uint64
 
-	enrolled atomic.Int64
-	cnt      struct {
+	enrolled     atomic.Int64
+	dirtyProvers atomic.Int64 // provers dirtied since the last checkpoint swap
+	cnt          struct {
 		challenges, accepted, rejected, replays atomic.Uint64
 	}
 }
@@ -144,8 +145,55 @@ type stripe struct {
 	order      []pendingRef                // insertion order for oldest-first eviction
 	seq        uint64                      // challenge insertion sequence
 	pendingCap int
-	seen       map[string]*DedupWindow // prover -> ERASMUS replay window
-	seedLast   map[string]uint64       // prover -> highest accepted SeED counter
+	provers    map[string]*proverRec // prover -> durable freshness record
+
+	// Checkpoint dirty tracking. ckptGen is the current checkpoint
+	// generation (starts at 1 so a zero dirtyGen always reads clean);
+	// dirty lists the provers stamped with it, in first-touch order.
+	// A delta checkpoint swaps both under the stripe lock: it takes
+	// the dirty list, bumps the generation, and walks only those
+	// records — commits racing the swap land wholly in this delta or
+	// wholly in the next one, never in neither.
+	ckptGen uint64
+	dirty   []string
+}
+
+// proverRec is one prover's durable freshness state — exactly what a
+// checkpoint persists: the ERASMUS replay window, the SeED watermark,
+// and the dirty stamp the delta encoder keys off. One record lives on
+// one stripe, so per-prover checkpoint consistency is a single-lock
+// property.
+type proverRec struct {
+	win      DedupWindow // ERASMUS replay window (valid when hasWin)
+	seedLast uint64      // highest accepted SeED counter (valid when hasSeed)
+	hasWin   bool
+	hasSeed  bool
+	dirtyGen uint64 // stripe ckptGen this record was last dirtied under
+}
+
+// markDirty stamps a record into the current checkpoint generation.
+// Caller holds st.mu. The common case — a prover reporting again
+// between checkpoints — is a compare and nothing else; the first
+// touch per generation appends to a slice that keeps its backing
+// array across swaps, so the steady state allocates nothing.
+func (st *stripe) markDirty(s *Server, name string, rec *proverRec) {
+	if rec.dirtyGen != st.ckptGen {
+		rec.dirtyGen = st.ckptGen
+		st.dirty = append(st.dirty, name)
+		s.dirtyProvers.Add(1)
+	}
+}
+
+// rec returns the prover's freshness record, creating (and counting
+// as enrolled) on first contact. Caller holds st.mu.
+func (st *stripe) rec(s *Server, name string) *proverRec {
+	r := st.provers[name]
+	if r == nil {
+		r = &proverRec{}
+		st.provers[name] = r
+		s.enrolled.Add(1)
+	}
+	return r
 }
 
 type pendingChallenge struct {
@@ -202,8 +250,8 @@ func Serve(tr transport.Transport, cfg Config) (*Server, error) {
 		s.stripes[i] = &stripe{
 			pending:    map[string]pendingChallenge{},
 			pendingCap: perStripeCap,
-			seen:       map[string]*DedupWindow{},
-			seedLast:   map[string]uint64{},
+			provers:    map[string]*proverRec{},
+			ckptGen:    1,
 		}
 	}
 	s.batch.KeepEpochs = cfg.KeepEpochs
@@ -263,6 +311,21 @@ func (s *Server) Lease() EpochLease {
 // at insert time (it is read per stats tick; scanning every stripe's
 // tables there would serialize against the ingest path).
 func (s *Server) Enrolled() int { return int(s.enrolled.Load()) }
+
+// DirtyCount is the number of provers whose freshness state changed
+// since the last checkpoint swap — what the next delta checkpoint
+// would have to write. Maintained as an atomic at dirty-stamp time,
+// so the background checkpointer's skip-when-clean probe costs one
+// load, never a stripe scan.
+func (s *Server) DirtyCount() int64 { return s.dirtyProvers.Load() }
+
+// leaseState snapshots the challenge-counter lease and its cursor
+// (checkpoint header fields).
+func (s *Server) leaseState() (EpochLease, uint64) {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	return s.lease, s.nonceCtr
+}
 
 // stripeFor picks the lock stripe owning a prover's freshness state.
 // The name hash is mixed through splitmix64 so provers that rendezvous
@@ -450,15 +513,15 @@ func (s *Server) handleCollection(from string, reports []core.Report) {
 	}
 	// Enrollment: the prover gets its window on first contact, so a
 	// restarted shard's checkpoint covers provers whose every report
-	// was rejected too (they are enrolled, just never clean).
+	// was rejected too (they are enrolled, just never clean). The
+	// record pointer is stable (heap value behind the stripe map), so
+	// the window can be probed under later lock acquisitions.
 	st.mu.Lock()
-	w := st.seen[from]
-	if w == nil {
-		w = &DedupWindow{}
-		st.seen[from] = w
-		if _, dup := st.seedLast[from]; !dup {
-			s.enrolled.Add(1)
-		}
+	rec := st.rec(s, from)
+	w := &rec.win
+	if !rec.hasWin {
+		rec.hasWin = true
+		st.markDirty(s, from, rec)
 	}
 	st.mu.Unlock()
 
@@ -484,6 +547,8 @@ func (s *Server) handleCollection(from string, reports []core.Report) {
 				st.mu.Lock()
 				if !w.Add(r.Counter) { // lost a same-counter race
 					rok, rreason, replay = false, "replayed measurement counter", true
+				} else {
+					st.markDirty(s, from, rec)
 				}
 				st.mu.Unlock()
 			}
@@ -524,7 +589,10 @@ func (s *Server) handleSeed(from string, reports []core.Report) {
 		replay := false
 		sc.nonce = core.AppendPRF(sc.nonce[:0], sc.seed, labelSeedNonce, r.Counter)
 		st.mu.Lock()
-		last := st.seedLast[from]
+		var last uint64
+		if rec := st.provers[from]; rec != nil && rec.hasSeed {
+			last = rec.seedLast
+		}
 		st.mu.Unlock()
 		switch {
 		case !hmac.Equal(r.Nonce, sc.nonce):
@@ -534,14 +602,17 @@ func (s *Server) handleSeed(from string, reports []core.Report) {
 		default:
 			if rok, rreason = s.verify(r); rok {
 				st.mu.Lock()
-				prev, had := st.seedLast[from]
-				if had && r.Counter <= prev { // lost a race since the pre-check
+				rec := st.provers[from]
+				if rec != nil && rec.hasSeed && r.Counter <= rec.seedLast {
+					// lost a race since the pre-check
 					rok, rreason, replay = false, "replayed SeED report", true
 				} else {
-					if !had && st.seen[from] == nil {
-						s.enrolled.Add(1)
+					if rec == nil {
+						rec = st.rec(s, from) // first contact: enrolls
 					}
-					st.seedLast[from] = r.Counter
+					rec.hasSeed = true
+					rec.seedLast = r.Counter
+					st.markDirty(s, from, rec)
 				}
 				st.mu.Unlock()
 			}

@@ -1,6 +1,7 @@
 package rattd
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -47,12 +48,16 @@ func BenchmarkShard_CheckpointRoundTrip(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var buf bytes.Buffer
 	for i := 0; i < b.N; i++ {
-		enc := cp.Encode()
-		if _, err := DecodeCheckpoint(enc); err != nil {
+		buf.Reset()
+		if _, err := cp.EncodeTo(&buf); err != nil {
 			b.Fatal(err)
 		}
-		b.SetBytes(int64(len(enc)))
+		if _, err := DecodeCheckpoint(buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"sync"
@@ -169,8 +171,8 @@ func TestCheckpointCodec(t *testing.T) {
 		},
 		Seed: map[string]uint64{"prv00001": 12, "seed-only": 4},
 	}
-	enc := cp.Encode()
-	if !bytes.Equal(enc, cp.Encode()) {
+	enc := encodeCP(t, cp)
+	if !bytes.Equal(enc, encodeCP(t, cp)) {
 		t.Fatal("encoding is not deterministic")
 	}
 	dec, err := DecodeCheckpoint(enc)
@@ -198,12 +200,46 @@ func TestCheckpointCodec(t *testing.T) {
 	if _, err := DecodeCheckpoint(bad); err == nil {
 		t.Fatal("future version accepted")
 	}
-	// A lying entry count must error before it can force a huge alloc.
-	lying := append([]byte(nil), enc[:40]...) // header + lease + nonceCtr
-	lying = append(lying, 0xff, 0xff, 0xff, 0xff)
-	if _, err := DecodeCheckpoint(lying); err == nil {
-		t.Fatal("absurd entry count accepted")
+	bad = append([]byte(nil), enc...)
+	bad[3] |= 0x80
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Fatal("unknown flags accepted")
 	}
+	// The trailing record count is a torn-write detector: a count that
+	// disagrees with the stream must error.
+	lying := append([]byte(nil), enc...)
+	lying[len(lying)-1] ^= 1
+	if _, err := DecodeCheckpoint(lying); err == nil {
+		t.Fatal("lying record count accepted")
+	}
+
+	// Delta headers (chain id, sequence, delta flag) round-trip too.
+	dcp := &Checkpoint{
+		Lease:    cp.Lease,
+		NonceCtr: 70000,
+		Erasmus:  map[string]DedupWindow{"prv00007": windowOf(11)},
+		Seed:     map[string]uint64{},
+		Delta:    true,
+		ChainID:  9,
+		Seq:      3,
+	}
+	ddec, err := DecodeCheckpoint(encodeCP(t, dcp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dcp, ddec) {
+		t.Fatalf("delta round trip mismatch:\n got %+v\nwant %+v", ddec, dcp)
+	}
+}
+
+// encodeCP encodes via the streaming encoder into memory.
+func encodeCP(t testing.TB, cp *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := cp.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }
 
 // TestShardRestartMidEpoch is the crash-recovery acceptance test:
@@ -303,19 +339,71 @@ func TestShardRestartMidEpoch(t *testing.T) {
 	if v := collect(1, 3); !v.OK {
 		t.Fatalf("pre-kill collection rejected: %s", v.Reason)
 	}
+	waitFor(t, func() bool { return tier.Shard(victim).Counts().Accepted == 4 })
+
+	// Persist through the on-disk chain the daemon actually writes:
+	// base now, a delta after the SeED report lands.
+	cpPath := filepath.Join(t.TempDir(), "cp")
+	// MaxDeltaFrac is disarmed: with a 1-prover fleet any delta
+	// exceeds half the base, and this test wants the chain kept.
+	ckpt := NewCheckpointer(tier.Shard(victim), CheckpointerConfig{Path: cpPath, MaxDeltaFrac: 100})
+	if err := ckpt.Tick(); err != nil {
+		t.Fatal(err)
+	}
 	sr, err := prv.SeedReport(5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	send(transport.Msg{Kind: transport.KindSeedReport, Reports: []*core.Report{sr}})
 	waitFor(t, func() bool { return tier.Shard(victim).Counts().Accepted == 5 })
+	if err := ckpt.Tick(); err != nil {
+		t.Fatal(err)
+	}
 
-	// Checkpoint through the wire codec, then kill the shard: socket
-	// and daemon die together, mid-lease.
-	cpBytes := tier.Shard(victim).Checkpoint().Encode()
-	cp, err := DecodeCheckpoint(cpBytes)
+	// One more SMART round advances the nonce cursor, then the crash:
+	// the delta capturing it is torn mid-write, a stale delta from a
+	// dead chain lingers, and a half-written base temp file survives.
+	// Restore must salvage the torn tail, drop the stale file, ignore
+	// the temp — and lose none of the pre-crash freshness state.
+	send(transport.Msg{Kind: transport.KindHello})
+	ch1b := await(transport.KindChallenge)
+	rep1b, err := prv.Respond(ch1b.Nonce)
 	if err != nil {
 		t.Fatal(err)
+	}
+	send(transport.Msg{Kind: transport.KindReport, Reports: []*core.Report{rep1b}})
+	if v := await(transport.KindVerdict); !v.OK {
+		t.Fatalf("pre-kill SMART #2 rejected: %s", v.Reason)
+	}
+	if err := ckpt.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := cpPath + ".d2"
+	info, err := os.Stat(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(d2, info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	stale := encodeCP(t, &Checkpoint{
+		Erasmus: map[string]DedupWindow{name: {}}, // would wipe the window if applied
+		Seed:    map[string]uint64{},
+		Delta:   true, ChainID: 99, Seq: 3,
+	})
+	if err := os.WriteFile(cpPath+".d3", stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cpPath+".tmp", []byte("half-written base"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, chain, err := LoadChain(cpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Applied != 2 || !chain.Truncated || chain.Dropped != 1 {
+		t.Fatalf("chain restore %+v, want 2 applied / truncated / 1 dropped", chain)
 	}
 	if !cp.Lease.Valid() || cp.NonceCtr <= cp.Lease.Lo {
 		t.Fatalf("checkpoint not mid-epoch: %+v", cp.Lease)

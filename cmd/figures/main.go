@@ -12,6 +12,7 @@
 //	figures -exp e14             # sharded verifier tier (100k provers over real sockets)
 //	figures -exp e15             # million-prover single-shard run (intra-shard concurrency)
 //	figures -exp e16             # zero-stall incremental checkpointing under fleet ingest
+//	figures -exp e17             # heterogeneous fleet: image registry + live golden rotation
 //	figures -ablation a1..a5     # ablations
 //	figures -quick               # reduced trial counts
 //	figures -parallel 4          # trial worker count (results identical)
@@ -41,7 +42,7 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "regenerate figure N (1, 2, 4, 5)")
 		table    = flag.Int("table", 0, "regenerate table N (1)")
-		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10, e11, e12, e14, e15, e16)")
+		exp      = flag.String("exp", "", "run section experiment (e5, e6, e8, e9, e10, e11, e12, e14, e15, e16, e17)")
 		ablation = flag.String("ablation", "", "run ablation (a1, a2, a3, a4, a5)")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "reduced Monte Carlo trial counts")
@@ -238,6 +239,21 @@ func main() {
 		}
 		fmt.Print(experiments.RenderE16(res))
 		writeCSV("e16.csv", func(w io.Writer) error { return experiments.E16CSV(w, res) })
+	})
+	run("E17: heterogeneous fleet — image registry with live golden rotation", *exp == "e17", func() {
+		cfg := experiments.E17Config{Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}}
+		if *quick {
+			cfg.Provers = 20_000
+		}
+		res, err := experiments.E17HeterogeneousFleet(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e17:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderE17(res))
+		writeCSV("e17.csv", func(w io.Writer) error { return experiments.E17CSV(w, res) })
 	})
 	run("A1: SMARM block-count ablation", *ablation == "a1", func() {
 		fmt.Print(experiments.RenderA1(experiments.AblationSMARMBlocks(nil, trials(100), 1)))

@@ -23,6 +23,15 @@
 //
 // Provers agree on the image by sharing (seed, mem, block); drive a
 // fleet against it with `rattsim -mode rattping -addr ...`.
+//
+// A heterogeneous fleet registers one golden image per device class
+// with repeated -image flags (the first is the default, served to
+// provers that never name one):
+//
+//	rattd -addr 127.0.0.1:9779 -image sensor=sensor.img -image gateway=gateway.img
+//
+// Reports name their image on the wire ("name" or "name@vN"); rotated
+// image versions keep verifying for -grace-epochs rotation epochs.
 package main
 
 import (
@@ -36,12 +45,24 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"saferatt/internal/rattd"
 	"saferatt/internal/transport"
+	"saferatt/internal/verifier"
 )
+
+// imageFlags collects repeated -image name=path flags in order.
+type imageFlags []string
+
+func (f *imageFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *imageFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -52,6 +73,7 @@ func main() {
 		block    = flag.Int("block", 1<<10, "block size bytes")
 		shuffled = flag.Bool("shuffled", false, "expect permuted traversal orders (SMARM-style)")
 		epochs   = flag.Int("keep-epochs", 64, "nonce epochs of expected tags to cache")
+		grace    = flag.Uint64("grace-epochs", 1, "rotation epochs a rotated-out image version keeps verifying")
 		stripes  = flag.Int("stripes", 0, "lock stripes for per-prover state per shard (0 = 4×GOMAXPROCS)")
 		drop     = flag.Float64("drop", 0, "injected datagram loss rate (testing)")
 		verbose  = flag.Bool("v", false, "log every verification decision")
@@ -70,6 +92,8 @@ func main() {
 		coalesce   = flag.Duration("coalesce", 0, "max delay a queued send waits for a batch (0 = default, <0 disables)")
 		maxBatch   = flag.Int("max-batch", 0, "messages per batch datagram cap (0 = default)")
 	)
+	var images imageFlags
+	flag.Var(&images, "image", "register a golden image as name=path (repeatable; first is the default; overrides -seed/-mem)")
 	flag.Parse()
 	if *shards < 1 {
 		log.Fatalf("rattd: -shards %d (need >= 1)", *shards)
@@ -118,11 +142,33 @@ func main() {
 	}
 
 	cfg := rattd.Config{
-		Ref:        rattd.GoldenImage(*seed, *memSize, *block),
 		BlockSize:  *block,
 		Shuffled:   *shuffled,
 		KeepEpochs: *epochs,
 		Stripes:    *stripes,
+	}
+	if len(images) > 0 {
+		set := verifier.NewImageSet(verifier.ImageSetConfig{Grace: *grace, KeepEpochs: *epochs})
+		for _, spec := range images {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok || name == "" || path == "" {
+				log.Fatalf("rattd: -image %q (want name=path)", spec)
+			}
+			ref, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatalf("rattd: -image %s: %v", name, err)
+			}
+			if len(ref) == 0 || len(ref)%*block != 0 {
+				log.Fatalf("rattd: -image %s: %d bytes is not a positive multiple of block size %d",
+					name, len(ref), *block)
+			}
+			if _, err := set.Add(name, verifier.ImageOf(ref, *block)); err != nil {
+				log.Fatalf("rattd: -image %s: %v", name, err)
+			}
+		}
+		cfg.Images = set
+	} else {
+		cfg.Ref = rattd.GoldenImage(*seed, *memSize, *block)
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -166,8 +212,14 @@ func main() {
 		}
 	}
 	for i, tr := range nets {
-		log.Printf("rattd: shard %d/%d serving on %s as %q (image seed=%d %d bytes in %d-byte blocks)",
-			i, *shards, tr.Addr(), tier.Shard(i).Name(), *seed, *memSize, *block)
+		if cfg.Images != nil {
+			log.Printf("rattd: shard %d/%d serving on %s as %q (images %s, default %s, %d-byte blocks)",
+				i, *shards, tr.Addr(), tier.Shard(i).Name(),
+				strings.Join(cfg.Images.Names(), ","), cfg.Images.Default(), *block)
+		} else {
+			log.Printf("rattd: shard %d/%d serving on %s as %q (image seed=%d %d bytes in %d-byte blocks)",
+				i, *shards, tr.Addr(), tier.Shard(i).Name(), *seed, *memSize, *block)
+		}
 	}
 
 	printStats := func() {

@@ -40,12 +40,3 @@ type Config struct {
 	NoTrace bool
 }
 
-// Workers resolves the effective worker count, honouring a deprecated
-// engine-local knob (e.g. the old ShardedConfig.Shards field) when
-// Parallelism is unset.
-func (c Config) Workers(legacy int) int {
-	if c.Parallelism != 0 {
-		return c.Parallelism
-	}
-	return legacy
-}

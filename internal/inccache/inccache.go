@@ -26,6 +26,7 @@
 package inccache
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 
@@ -61,6 +62,7 @@ type Stats struct {
 	Hits   uint64 // digests served from this cache
 	Misses uint64 // digests (re)computed
 	Shared uint64 // digests served from a fleet-shared golden cache
+	Seeded uint64 // digests inherited from a predecessor image (rotation)
 }
 
 // MemCache caches per-block digests of a live mem.Memory, keyed on the
@@ -254,6 +256,41 @@ func SharedImage(g *mem.Golden, hash suite.HashID) *ImageCache {
 		return c.(*ImageCache)
 	}
 	c := NewImage(g.Bytes(), g.BlockSize(), hash)
+	actual, _ := sharedImages.LoadOrStore(k, c)
+	return actual.(*ImageCache)
+}
+
+// SharedImageDerived returns the process-wide digest cache for newG,
+// seeding it from oldG's shared cache: every block whose content is
+// bit-identical across the two images inherits its already-computed
+// digest, so a golden rotation (OTA update) re-hashes only the blocks
+// the update actually changed. Blocks never digested under oldG stay
+// lazy as usual. When the geometries differ, or oldG has no shared
+// cache yet, this degrades to SharedImage(newG, hash).
+func SharedImageDerived(oldG, newG *mem.Golden, hash suite.HashID) *ImageCache {
+	k := sharedKey{golden: newG, hash: hash}
+	if c, ok := sharedImages.Load(k); ok {
+		return c.(*ImageCache)
+	}
+	c := NewImage(newG.Bytes(), newG.BlockSize(), hash)
+	if oldG != nil && oldG.BlockSize() == newG.BlockSize() {
+		if prev, ok := sharedImages.Load(sharedKey{golden: oldG, hash: hash}); ok {
+			oc := prev.(*ImageCache)
+			n := oc.NumBlocks()
+			if m := newG.NumBlocks(); m < n {
+				n = m
+			}
+			oc.mu.Lock()
+			for b := 0; b < n; b++ {
+				if oc.done[b] && bytes.Equal(oldG.Block(b), newG.Block(b)) {
+					copy(c.dig[b*c.size:(b+1)*c.size], oc.dig[b*oc.size:(b+1)*oc.size])
+					c.done[b] = true
+					c.stats.Seeded++
+				}
+			}
+			oc.mu.Unlock()
+		}
+	}
 	actual, _ := sharedImages.LoadOrStore(k, c)
 	return actual.(*ImageCache)
 }

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand/v2"
 
@@ -97,6 +98,27 @@ func (g *Golden) Block(i int) []byte {
 // reference for every device sharing this golden. Callers must not
 // mutate it; copy first if a private image is needed.
 func (g *Golden) Bytes() []byte { return g.data }
+
+// DiffBlocks returns the indices of blocks whose content differs from
+// old — the OTA delta between two firmware versions. A nil old, or an
+// old with a different geometry, diffs against nothing: every block is
+// returned (the update is a full reflash).
+func (g *Golden) DiffBlocks(old *Golden) []int {
+	if old == nil || old.blockSize != g.blockSize || old.nblocks != g.nblocks {
+		all := make([]int, g.nblocks)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var diff []int
+	for i := 0; i < g.nblocks; i++ {
+		if !bytes.Equal(g.Block(i), old.Block(i)) {
+			diff = append(diff, i)
+		}
+	}
+	return diff
+}
 
 // SharedConfig parameterizes a copy-on-write Memory; geometry comes
 // from the Golden.

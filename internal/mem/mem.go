@@ -577,6 +577,38 @@ func (m *Memory) BlockClean(i int) bool {
 	return m.golden != nil && (m.priv == nil || m.priv[i] == nil)
 }
 
+// ApplyGolden installs newG's content as an in-place OTA update:
+// every block whose current content differs from newG is written
+// through WriteBlock (honoring locks, stamping writes, bumping
+// generations, exactly like any other mutation — digest caches
+// invalidate normally). Blocks already matching newG are untouched,
+// so a device whose image was clean pays only for the blocks the
+// update actually changed. Returns the number of blocks written; a
+// locked differing block aborts with an error (a device cannot flash
+// what its lock policy forbids). The device's golden pointer is NOT
+// rewired: after a full apply the content equals newG bit for bit,
+// which is what attestation measures.
+func (m *Memory) ApplyGolden(newG *Golden) (int, error) {
+	if newG == nil {
+		return 0, fmt.Errorf("mem: ApplyGolden with nil Golden")
+	}
+	if newG.blockSize != m.blockSize || newG.nblocks != m.nblocks {
+		return 0, fmt.Errorf("mem: ApplyGolden geometry mismatch: image %dx%d vs memory %dx%d",
+			newG.nblocks, newG.blockSize, m.nblocks, m.blockSize)
+	}
+	changed := 0
+	for i := 0; i < m.nblocks; i++ {
+		if bytes.Equal(m.blockRead(i), newG.Block(i)) {
+			continue
+		}
+		if err := m.WriteBlock(i, newG.Block(i)); err != nil {
+			return changed, fmt.Errorf("mem: ApplyGolden block %d: %w", i, err)
+		}
+		changed++
+	}
+	return changed, nil
+}
+
 func (m *Memory) checkBlock(i int) {
 	if i < 0 || i >= m.nblocks {
 		panic(fmt.Sprintf("mem: block %d out of range [0,%d)", i, m.nblocks))

@@ -33,6 +33,11 @@ type Checkpoint struct {
 	Erasmus map[string]DedupWindow
 	// Seed maps prover -> highest accepted SeED counter.
 	Seed map[string]uint64
+	// Images maps prover -> bound image name, for provers bound to a
+	// non-default image (v4 records; nil for pre-v4 files). Restore
+	// remaps names unknown to the target registry to the default image
+	// and counts the fallback.
+	Images map[string]string
 
 	// Delta marks a v3 delta file: the prover maps are an overlay of
 	// only the records dirtied since the previous snapshot in the
@@ -50,12 +55,13 @@ type Checkpoint struct {
 // mixed-version restarts fail loudly instead of misparsing:
 //
 //	magic "RC" | u8 version | u8 flags
-//	v3 only: u64 chainID | u32 seq        (flags bit0 = delta)
+//	v3+:  u64 chainID | u32 seq           (flags bit0 = delta)
 //	u32 lease.Shard | u64 lease.Epoch | u64 lease.Lo | u64 lease.Hi
 //	u64 nonceCtr
-//	v3: a record stream, then u8 0 end marker | u32 record count:
+//	v3+: a record stream, then u8 0 end marker | u32 record count:
 //	    window record:    u8 1 | u16 len | name | u64 top | DedupWords × u64 bits
 //	    watermark record: u8 2 | u16 len | name | u64 lastCounter
+//	    image record:     u8 3 | u16 len | name | u8 len | image name (v4 only)
 //	v2: u32 nErasmus, then per prover (sorted):
 //	    u16 len | name | u64 windowTop | DedupWords × u64 bits
 //	    u32 nSeed, then per prover (sorted): u16 len | name | u64 lastCounter
@@ -70,10 +76,15 @@ type Checkpoint struct {
 // records dirtied since the previous snapshot. The trailing record
 // count doubles as a torn-write detector: strict decode rejects any
 // mismatch, and the chain reader (DecodeChain) can fall back to the
-// last fully-parsed record of a torn delta tail. Encode always
-// writes v3; v1 and v2 files still decode (v1 counter lists are
-// replayed into windows, oldest first, converging to the window the
-// live server would have held).
+// last fully-parsed record of a torn delta tail. Version 4 adds the
+// image record carrying a prover's image binding (heterogeneous
+// fleets); provers bound to the default image write none, so a
+// homogeneous fleet's v4 file is byte-for-byte a v3 file with a
+// bumped version. Encode always writes v4; v1–v3 files still decode
+// (v1 counter lists are replayed into windows, oldest first,
+// converging to the window the live server would have held; strict v3
+// decode rejects image records). A v4 chain accepts v3 deltas and
+// vice versa — record streams are self-describing.
 //
 // Encoding is deterministic for a given encoder (sorted iteration;
 // windows kept in canonical form with out-of-range bits zero). The
@@ -84,15 +95,17 @@ type Checkpoint struct {
 const (
 	checkpointMagic0   = 'R'
 	checkpointMagic1   = 'C'
-	CheckpointVersion  = 3
+	CheckpointVersion  = 4
+	checkpointVersion3 = 3
 	checkpointVersion2 = 2
 	checkpointVersion1 = 1
 
-	cpFlagDelta = 0x01 // v3: file is a delta, not a full snapshot
+	cpFlagDelta = 0x01 // v3+: file is a delta, not a full snapshot
 
 	cpRecEnd    = 0 // end of record stream, followed by u32 count
 	cpRecWindow = 1 // ERASMUS dedup window
 	cpRecSeed   = 2 // SeED watermark
+	cpRecImage  = 3 // prover→image binding (v4)
 
 	// cpFlushBytes bounds the encoder's scratch buffer: the streaming
 	// paths hand the buffer to the io.Writer whenever it crosses this
@@ -219,6 +232,10 @@ func (s *Server) WriteCheckpoint(w io.Writer, o SnapshotOptions) (SnapshotStats,
 				buf = appendSeedRec(buf, e.name, e.rec.seedLast)
 				stats.Records++
 			}
+			if e.rec.image != "" {
+				buf = appendImageRec(buf, e.name, e.rec.image)
+				stats.Records++
+			}
 			stats.Provers++
 			if len(buf) >= cpFlushBytes {
 				if _, err := cw.Write(buf); err != nil {
@@ -264,6 +281,12 @@ func (s *Server) Checkpoint() *Checkpoint {
 			if rec.hasSeed {
 				cp.Seed[name] = rec.seedLast
 			}
+			if rec.image != "" {
+				if cp.Images == nil {
+					cp.Images = map[string]string{}
+				}
+				cp.Images[name] = rec.image
+			}
 		}
 		st.mu.Unlock()
 	}
@@ -307,6 +330,26 @@ func (s *Server) Restore(cp *Checkpoint) {
 		st.mu.Lock()
 		rec := st.rec(s, p)
 		rec.hasSeed, rec.seedLast = true, last
+		st.mu.Unlock()
+	}
+	for p, img := range cp.Images {
+		// A binding naming an image this registry does not hold — a
+		// checkpoint from a differently-provisioned daemon, or a
+		// registry that shrank — falls back to the default image and is
+		// counted; the prover re-binds on its next named contact.
+		if img == s.defName {
+			img = ""
+		} else if img != "" && !s.images.Has(img) {
+			s.imageFallbacks.Add(1)
+			img = ""
+		}
+		if img == "" {
+			continue
+		}
+		st := s.stripeFor(p)
+		st.mu.Lock()
+		rec := st.rec(s, p)
+		rec.image = img
 		st.mu.Unlock()
 	}
 }
@@ -365,6 +408,19 @@ func (cp *Checkpoint) EncodeTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
+	keys = keys[:0]
+	for k := range cp.Images {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, p := range keys {
+		buf = appendImageRec(buf, p, cp.Images[p])
+		n++
+		if err := flush(); err != nil {
+			sc.buf, sc.keys = buf, keys
+			return cw.n, err
+		}
+	}
 	buf = append(buf, cpRecEnd)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
 	_, err := cw.Write(buf)
@@ -406,17 +462,28 @@ func appendSeedRec(b []byte, name string, last uint64) []byte {
 	return binary.BigEndian.AppendUint64(b, last)
 }
 
+func appendImageRec(b []byte, name, image string) []byte {
+	b = append(b, cpRecImage)
+	b = appendName(b, name)
+	if len(image) > 0xff {
+		image = image[:0xff]
+	}
+	b = append(b, byte(len(image)))
+	return append(b, image...)
+}
+
 // DecodeCheckpoint parses an encoded checkpoint, strictly: unknown
 // versions or flags, truncation, trailing bytes, duplicated records,
-// and lying counts are all errors. The current v3 format (full and
-// delta files) and the pre-stream v2 and v1 formats are accepted.
+// and lying counts are all errors. The current v4 format, the v3
+// stream format (full and delta files) and the pre-stream v2 and v1
+// formats are accepted.
 func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	ver, err := checkpointVersionOf(b)
 	if err != nil {
 		return nil, err
 	}
-	if ver == CheckpointVersion {
-		return decodeV3(b, false)
+	if ver >= checkpointVersion3 {
+		return decodeStream(b, ver, false)
 	}
 	return decodeLegacy(b, ver)
 }
@@ -427,25 +494,27 @@ func checkpointVersionOf(b []byte) (byte, error) {
 	}
 	ver := b[2]
 	switch ver {
-	case CheckpointVersion, checkpointVersion2, checkpointVersion1:
+	case CheckpointVersion, checkpointVersion3, checkpointVersion2, checkpointVersion1:
 	default:
 		return 0, fmt.Errorf("rattd: checkpoint version %d not supported (want 1..%d)", ver, CheckpointVersion)
 	}
-	if ver != CheckpointVersion && b[3] != 0 {
+	if ver < checkpointVersion3 && b[3] != 0 {
 		return 0, fmt.Errorf("rattd: checkpoint v%d with nonzero flags 0x%02x", ver, b[3])
 	}
-	if ver == CheckpointVersion && b[3]&^cpFlagDelta != 0 {
-		return 0, fmt.Errorf("rattd: checkpoint v3 with unknown flags 0x%02x", b[3])
+	if ver >= checkpointVersion3 && b[3]&^cpFlagDelta != 0 {
+		return 0, fmt.Errorf("rattd: checkpoint v%d with unknown flags 0x%02x", ver, b[3])
 	}
 	return ver, nil
 }
 
-// decodeV3 parses a v3 file. In lenient mode — used only by
-// DecodeChain to salvage a torn delta tail — a malformed record
-// stream is not an error: decoding stops at the last fully-parsed
-// record and returns that prefix. The header must be intact either
-// way.
-func decodeV3(b []byte, lenient bool) (*Checkpoint, error) {
+// decodeStream parses a v3/v4 record-stream file. The image record is
+// accepted only when the header says v4 — strict v3 decode rejects it
+// as an unknown record type, exactly as a v3 binary would have. In
+// lenient mode — used only by DecodeChain to salvage a torn delta
+// tail — a malformed record stream is not an error: decoding stops at
+// the last fully-parsed record and returns that prefix. The header
+// must be intact either way.
+func decodeStream(b []byte, ver byte, lenient bool) (*Checkpoint, error) {
 	d := cpDecoder{b: b, off: 4}
 	cp := &Checkpoint{
 		Delta:   b[3]&cpFlagDelta != 0,
@@ -511,6 +580,31 @@ func decodeV3(b []byte, lenient bool) (*Checkpoint, error) {
 				break
 			}
 			cp.Seed[p] = last
+			n++
+		case cpRecImage:
+			if ver < CheckpointVersion {
+				d.err = fmt.Errorf("rattd: unknown checkpoint record type %d at offset %d", t, d.off-1)
+				break
+			}
+			p := d.name()
+			img := d.str8()
+			if d.err != nil {
+				break
+			}
+			if len(img) == 0 {
+				// The canonical encoding of "bound to the default image"
+				// is no record at all.
+				d.err = fmt.Errorf("rattd: empty image record for %q", p)
+				break
+			}
+			if _, dup := cp.Images[p]; dup {
+				d.err = fmt.Errorf("rattd: duplicated image record for %q", p)
+				break
+			}
+			if cp.Images == nil {
+				cp.Images = map[string]string{}
+			}
+			cp.Images[p] = img
 			n++
 		default:
 			d.err = fmt.Errorf("rattd: unknown checkpoint record type %d at offset %d", t, d.off-1)
@@ -665,17 +759,17 @@ func DecodeChain(base []byte, deltas ...[]byte) (*Checkpoint, ChainStats, error)
 	return cp, st, nil
 }
 
-// decodeV3Prefix parses as much of a v3 file as is well-formed (see
-// decodeV3's lenient mode). Non-v3 bytes are an error.
+// decodeV3Prefix parses as much of a v3/v4 file as is well-formed
+// (see decodeStream's lenient mode). Pre-stream bytes are an error.
 func decodeV3Prefix(b []byte) (*Checkpoint, error) {
 	ver, err := checkpointVersionOf(b)
 	if err != nil {
 		return nil, err
 	}
-	if ver != CheckpointVersion {
+	if ver < checkpointVersion3 {
 		return nil, fmt.Errorf("rattd: v%d file cannot be a chain delta", ver)
 	}
-	return decodeV3(b, true)
+	return decodeStream(b, ver, true)
 }
 
 // applyDelta overlays a delta's records onto an accumulated state.
@@ -685,6 +779,12 @@ func applyDelta(cp, d *Checkpoint) {
 	}
 	for p, last := range d.Seed {
 		cp.Seed[p] = last
+	}
+	for p, img := range d.Images {
+		if cp.Images == nil {
+			cp.Images = map[string]string{}
+		}
+		cp.Images[p] = img
 	}
 	cp.Lease = d.Lease
 	cp.NonceCtr = d.NonceCtr
@@ -753,6 +853,16 @@ func (d *cpDecoder) u64() uint64 {
 	v := binary.BigEndian.Uint64(d.b[d.off:])
 	d.off += 8
 	return v
+}
+
+func (d *cpDecoder) str8() string {
+	n := int(d.u8())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
 }
 
 func (d *cpDecoder) name() string {

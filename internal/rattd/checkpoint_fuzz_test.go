@@ -182,6 +182,7 @@ func FuzzCheckpointCodec(f *testing.F) {
 			"prv00007": windowOf(5, 9),
 		},
 		Seed:    map[string]uint64{"prv00001": 12},
+		Images:  map[string]string{"prv00007": "gateway"},
 		ChainID: 4,
 	}
 	var buf bytes.Buffer
@@ -194,6 +195,7 @@ func FuzzCheckpointCodec(f *testing.F) {
 		NonceCtr: 65700,
 		Erasmus:  map[string]DedupWindow{"prv00009": windowOf(2)},
 		Seed:     map[string]uint64{"prv00009": 3},
+		Images:   map[string]string{"prv00009": "sensor@v2"},
 		Delta:    true, ChainID: 4, Seq: 1,
 	}
 	buf.Reset()
@@ -212,6 +214,13 @@ func FuzzCheckpointCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{'R', 'C', 3, 0})
 	f.Add([]byte{'R', 'C', 1, 0, 0xff, 0xff})
+	// A v4 file downgraded to v3: the image records it carries must be
+	// rejected, never silently dropped.
+	v3img := append([]byte(nil), fullEnc...)
+	v3img[2] = checkpointVersion3
+	f.Add(v3img)
+	// A truncated image record (name present, image id torn off).
+	f.Add(fullEnc[:len(fullEnc)-3])
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		cp, err := DecodeCheckpoint(b)

@@ -36,6 +36,10 @@ type FleetConfig struct {
 	Image     []byte
 	BlockSize int
 	Shuffled  bool
+	// ImageName, when non-empty, is the golden-image id every prover
+	// announces on the wire (see Prover.ImageName); the Image bytes
+	// must match what the daemon registered under that name.
+	ImageName string
 	// History is how many ERASMUS self-measurements each prover bundles
 	// into its collection; defaults to 3, negative skips the collection
 	// phase.
@@ -126,6 +130,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 			return nil, err
 		}
 		prv.Shuffled = cfg.Shuffled
+		prv.ImageName = cfg.ImageName
 		daemon := cfg.Daemon
 		if shards > 1 {
 			shard := prv.ShardOf(shards)
@@ -217,7 +222,8 @@ func runProver(tr *transport.Net, cfg FleetConfig, prv *Prover, daemon string) (
 	start := time.Now()
 	var smartOK bool
 	for attempt := 0; attempt < 2 && !smartOK; attempt++ {
-		if err := tr.Send(transport.Msg{From: prv.Name, To: daemon, Kind: transport.KindHello}); err != nil {
+		if err := tr.Send(transport.Msg{From: prv.Name, To: daemon, Kind: transport.KindHello,
+			Image: prv.ImageName}); err != nil {
 			logf("hello: %v", err)
 			break
 		}
@@ -232,7 +238,7 @@ func runProver(tr *transport.Net, cfg FleetConfig, prv *Prover, daemon string) (
 			break
 		}
 		if err := tr.Send(transport.Msg{From: prv.Name, To: daemon, Kind: transport.KindReport,
-			Reports: []*core.Report{rep}}); err != nil {
+			Image: prv.ImageName, Reports: []*core.Report{rep}}); err != nil {
 			logf("report: %v", err)
 			break
 		}
@@ -270,7 +276,7 @@ func runProver(tr *transport.Net, cfg FleetConfig, prv *Prover, daemon string) (
 			history = append(history, r)
 		}
 		if err := tr.Send(transport.Msg{From: prv.Name, To: daemon, Kind: transport.KindCollection,
-			Reports: history}); err != nil {
+			Image: prv.ImageName, Reports: history}); err != nil {
 			logf("collection: %v", err)
 			break
 		}

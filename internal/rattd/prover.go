@@ -32,6 +32,11 @@ type Prover struct {
 	BlockSize int
 	Shuffled  bool
 	Hash      suite.HashID
+	// ImageName, when non-empty, is the golden-image id this prover
+	// announces on every wire message ("name" or "name@vN") so a
+	// multi-image daemon verifies it against the right registry entry.
+	// Empty means the daemon's default image (the v1-peer behavior).
+	ImageName string
 
 	order []int // traversal scratch, reused across reports
 }

@@ -28,6 +28,7 @@ package rattd
 
 import (
 	"crypto/hmac"
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -54,6 +55,22 @@ var (
 	labelSeedFor   = []byte("rattd-seed:")
 )
 
+// DefaultImageName is the registry name a single-image Config's Ref is
+// registered under, and the image v1 peers and imageless reports are
+// served against.
+const DefaultImageName = "default"
+
+// Image-related rejection reasons. ReasonStaleImage is the explicit
+// attestation-during-update outcome: a report pinned to a version that
+// was rotated out and is past its grace window is rejected with this
+// distinct reason — never spuriously passed against either image.
+const (
+	ReasonStaleImage     = "stale image version (retired past rotation grace)"
+	ReasonUnknownImage   = "unknown image id"
+	ReasonImageMismatch  = "image binding mismatch"
+	ReasonMalformedImage = "malformed image id"
+)
+
 // DefaultPendingCap bounds outstanding (unanswered) SMART challenges
 // held across the server. A prover that hellos and never reports used
 // to leak its nonce entry forever; past the cap the oldest entry is
@@ -69,9 +86,17 @@ type Config struct {
 	// DefaultKey.
 	Key []byte
 	// Ref is the golden memory image provers are expected to hold.
+	// Ignored when Images is set.
 	Ref []byte
 	// BlockSize is the measurement granularity of Ref.
 	BlockSize int
+	// Images, when set, serves a heterogeneous fleet: reports verify
+	// against the image their wire image id names, provers are bound to
+	// an image at enrollment, and live rotation (ImageSet.Rotate)
+	// follows the registry's grace semantics. Nil builds a single-image
+	// registry from Ref/BlockSize under DefaultImageName — the
+	// pre-registry behavior bit for bit.
+	Images *verifier.ImageSet
 	// Shuffled selects permuted traversal orders (SMARM-style).
 	Shuffled bool
 	// Hash is the measurement hash; defaults to suite.SHA256.
@@ -115,9 +140,10 @@ type Counts struct {
 // Server is the verifier daemon. All handler paths are safe for
 // concurrent use: the transport's dispatch workers call straight in.
 type Server struct {
-	cfg   Config
-	tr    transport.Transport
-	batch *verifier.Batch
+	cfg     Config
+	tr      transport.Transport
+	images  *verifier.ImageSet
+	defName string // default image's name (normalized away in bindings)
 
 	stripes []*stripe
 	mask    uint64
@@ -129,9 +155,10 @@ type Server struct {
 	lease    EpochLease
 	nonceCtr uint64
 
-	enrolled     atomic.Int64
-	dirtyProvers atomic.Int64 // provers dirtied since the last checkpoint swap
-	cnt          struct {
+	enrolled       atomic.Int64
+	dirtyProvers   atomic.Int64  // provers dirtied since the last checkpoint swap
+	imageFallbacks atomic.Uint64 // restored bindings to unknown images, remapped to default
+	cnt            struct {
 		challenges, accepted, rejected, replays atomic.Uint64
 	}
 }
@@ -166,6 +193,7 @@ type stripe struct {
 type proverRec struct {
 	win      DedupWindow // ERASMUS replay window (valid when hasWin)
 	seedLast uint64      // highest accepted SeED counter (valid when hasSeed)
+	image    string      // bound image name; "" = the fleet default
 	hasWin   bool
 	hasSeed  bool
 	dirtyGen uint64 // stripe ckptGen this record was last dirtied under
@@ -212,9 +240,12 @@ type pendingRef struct {
 
 // Serve binds a new Server to tr under cfg.Name and starts answering.
 func Serve(tr transport.Transport, cfg Config) (*Server, error) {
-	if len(cfg.Ref) == 0 || cfg.BlockSize <= 0 || len(cfg.Ref)%cfg.BlockSize != 0 {
+	if cfg.Images == nil && (len(cfg.Ref) == 0 || cfg.BlockSize <= 0 || len(cfg.Ref)%cfg.BlockSize != 0) {
 		return nil, fmt.Errorf("rattd: golden image of %d bytes is not a positive multiple of block size %d",
 			len(cfg.Ref), cfg.BlockSize)
+	}
+	if cfg.Images != nil && cfg.Images.Default().Name == "" {
+		return nil, fmt.Errorf("rattd: image registry holds no default image")
 	}
 	if cfg.Name == "" {
 		cfg.Name = "rattd"
@@ -239,10 +270,21 @@ func Serve(tr transport.Transport, cfg Config) (*Server, error) {
 	if perStripeCap < 1 {
 		perStripeCap = 1
 	}
+	images := cfg.Images
+	if images == nil {
+		// Single-image fleet: the Ref becomes a one-entry registry, so
+		// the verify path is uniform and a later Rotate works on any
+		// server.
+		images = verifier.NewImageSet(verifier.ImageSetConfig{Hash: cfg.Hash, KeepEpochs: cfg.KeepEpochs})
+		if _, err := images.Add(DefaultImageName, verifier.ImageOf(cfg.Ref, cfg.BlockSize)); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		tr:      tr,
-		batch:   verifier.NewBatch(cfg.Hash, cfg.Ref, cfg.BlockSize),
+		images:  images,
+		defName: images.Default().Name,
 		stripes: make([]*stripe, nstripes),
 		mask:    uint64(nstripes - 1),
 	}
@@ -254,7 +296,6 @@ func Serve(tr transport.Transport, cfg Config) (*Server, error) {
 			ckptGen:    1,
 		}
 	}
-	s.batch.KeepEpochs = cfg.KeepEpochs
 	// Prefer the zero-copy receive path: report fields arrive as views
 	// into the transport's receive buffer and are consumed before the
 	// handler returns (every retained value below — nonces, counters,
@@ -293,8 +334,18 @@ func (s *Server) Counts() Counts {
 	}
 }
 
-// BatchStats exposes the amortization counters of the batch verifier.
-func (s *Server) BatchStats() verifier.BatchStats { return s.batch.Stats() }
+// BatchStats exposes the amortization counters summed across every
+// image's batch verifier.
+func (s *Server) BatchStats() verifier.BatchStats { return s.images.Stats().Batch }
+
+// Images returns the server's image registry — the handle operators
+// use for live golden rotation (Rotate / AdvanceEpoch) while the
+// server keeps serving.
+func (s *Server) Images() *verifier.ImageSet { return s.images }
+
+// ImageFallbacks counts restored prover bindings that named an image
+// unknown to this server's registry and were remapped to the default.
+func (s *Server) ImageFallbacks() uint64 { return s.imageFallbacks.Load() }
 
 // Lease returns the server's current challenge-counter lease (zero
 // until the first hello pulls one).
@@ -362,9 +413,10 @@ func (s *Server) nextChallengeCtr() uint64 {
 }
 
 // onFrame is the zero-copy receive path: report fields are views into
-// the transport buffer, consumed entirely inside the handler.
+// the transport buffer, consumed entirely inside the handler. The
+// frame's image id is interned, so threading it through costs nothing.
 func (s *Server) onFrame(f *transport.Frame) {
-	s.Ingest(f.From, f.Kind, f.Reports)
+	s.IngestImage(f.From, f.Kind, f.Image, f.Reports)
 }
 
 // onMsg is the owning-copy receive path for transports without frame
@@ -381,7 +433,7 @@ func (s *Server) onMsg(m transport.Msg) {
 			}
 		}
 	}
-	s.Ingest(m.From, m.Kind, reports)
+	s.IngestImage(m.From, m.Kind, m.Image, reports)
 }
 
 // Ingest delivers one bundle to the server exactly as if it had
@@ -390,18 +442,95 @@ func (s *Server) onMsg(m transport.Msg) {
 // no socket, the handler runs synchronously on the caller's
 // goroutine. Safe for concurrent use from any number of goroutines.
 // Report-less kinds (KindHello) take nil reports; replies (challenge,
-// verdict) go out through the server's transport as usual.
+// verdict) go out through the server's transport as usual. The bundle
+// carries no image id, so it verifies against the prover's bound
+// image (the fleet default until a named contact binds one).
 func (s *Server) Ingest(from string, kind transport.Kind, reports []core.Report) {
+	s.IngestImage(from, kind, "", reports)
+}
+
+// IngestImage is Ingest with the wire image id ("name" or "name@vN")
+// the bundle arrived under — what the frame paths feed. An empty id
+// resolves to the prover's bound image; a named id must match the
+// binding (first named contact binds); an exact version follows the
+// registry's rotation semantics (in-grace retired versions verify,
+// stale ones reject with ReasonStaleImage).
+func (s *Server) IngestImage(from string, kind transport.Kind, image string, reports []core.Report) {
+	id, err := verifier.ParseImageID(image)
+	if err != nil {
+		s.rejectBundle(from, kind, len(reports), ReasonMalformedImage)
+		return
+	}
 	switch kind {
 	case transport.KindHello:
 		s.handleHello(from)
 	case transport.KindReport:
-		s.handleReport(from, reports)
+		s.handleReport(from, id, reports)
 	case transport.KindCollection:
-		s.handleCollection(from, reports)
+		s.handleCollection(from, id, reports)
 	case transport.KindSeedReport:
-		s.handleSeed(from, reports)
+		s.handleSeed(from, id, reports)
 	}
+}
+
+// rejectBundle counts one rejection per report (conserving the
+// accepted+rejected == reports invariant) and answers the verdict the
+// kind calls for.
+func (s *Server) rejectBundle(from string, kind transport.Kind, n int, reason string) {
+	for i := 0; i < n; i++ {
+		s.count(false)
+	}
+	if s.cfg.Logf != nil {
+		s.logf("bundle %s (%d reports): rejected: %s", from, n, reason)
+	}
+	switch kind {
+	case transport.KindReport, transport.KindCollection:
+		s.tr.Send(transport.Msg{From: s.cfg.Name, To: from, Kind: transport.KindVerdict, OK: false, Reason: reason})
+	}
+}
+
+// bindImage resolves a bundle's image name against the prover's
+// stored binding: the first named contact binds (enrollment-time
+// assignment in a fleet whose provers always present their class),
+// later bundles may omit the name, and a conflicting name rejects.
+// The default image's own name normalizes to "" so homogeneous fleets
+// store no binding at all. When create is false a missing record
+// leaves the binding unstored — the SMART report path does not enroll.
+// Returns the effective name and false on a binding mismatch.
+func (s *Server) bindImage(st *stripe, from, name string, create bool) (string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec := st.provers[from]
+	bound := ""
+	if rec != nil {
+		bound = rec.image
+	}
+	switch {
+	case name == "":
+		return bound, true
+	case name == s.defName:
+		// An explicit claim of the default image is never stored (the
+		// default binding IS the empty string) but still conflicts with
+		// a binding to any other image.
+		if bound != "" {
+			return "", false
+		}
+		return "", true
+	case bound == name:
+		return name, true
+	case bound != "":
+		return "", false
+	}
+	// First named contact binds.
+	if rec == nil {
+		if !create {
+			return name, true
+		}
+		rec = st.rec(s, from)
+	}
+	rec.image = name
+	st.markDirty(s, from, rec)
+	return name, true
 }
 
 // handleHello answers a prover's hello with a fresh challenge nonce
@@ -458,16 +587,21 @@ func (st *stripe) takePending(name string) ([]byte, bool) {
 }
 
 // handleReport validates a challenge response and answers with a
-// verdict. The pending lookup is the only stripe touch; nonce
-// comparison and tag verification run off-lock.
-func (s *Server) handleReport(from string, reports []core.Report) {
-	nonce, outstanding := s.stripeFor(from).takePending(from)
+// verdict. The pending lookup and binding check are the only stripe
+// touches; nonce comparison and tag verification run off-lock.
+func (s *Server) handleReport(from string, id verifier.ImageID, reports []core.Report) {
+	st := s.stripeFor(from)
+	name, bound := s.bindImage(st, from, id.Name, false)
+	nonce, outstanding := st.takePending(from)
 	ok, reason := false, ""
-	if !outstanding {
+	if !bound {
+		reason = ReasonImageMismatch
+	} else if !outstanding {
 		reason = "unsolicited report"
 	} else if len(reports) == 0 {
 		reason = "empty report bundle"
 	} else {
+		eff := verifier.ImageID{Name: name, Version: id.Version}
 		ok = true
 		for i := range reports {
 			r := &reports[i]
@@ -475,7 +609,7 @@ func (s *Server) handleReport(from string, reports []core.Report) {
 				ok, reason = false, "nonce mismatch"
 				break
 			}
-			if ok, reason = s.verify(r); !ok {
+			if ok, reason = s.verify(r, eff); !ok {
 				break
 			}
 		}
@@ -505,8 +639,17 @@ var scratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
 // window probe and (after an off-lock tag verification) the commit,
 // which re-checks the window so two racing bundles for one prover
 // cannot double-accept a counter.
-func (s *Server) handleCollection(from string, reports []core.Report) {
+func (s *Server) handleCollection(from string, id verifier.ImageID, reports []core.Report) {
 	st := s.stripeFor(from)
+	// Binding before enrollment bookkeeping: a mismatched image claim
+	// rejects the whole bundle (every report counted) before any
+	// window state moves.
+	name, bound := s.bindImage(st, from, id.Name, true)
+	if !bound {
+		s.rejectBundle(from, transport.KindCollection, len(reports), ReasonImageMismatch)
+		return
+	}
+	eff := verifier.ImageID{Name: name, Version: id.Version}
 	ok, reason := true, ""
 	if len(reports) == 0 {
 		ok, reason = false, "empty collection"
@@ -543,7 +686,7 @@ func (s *Server) handleCollection(from string, reports []core.Report) {
 		case i > 0 && r.Counter <= prevCtr:
 			rok, rreason = false, "non-monotonic measurement counter"
 		default:
-			if rok, rreason = s.verify(r); rok {
+			if rok, rreason = s.verify(r, eff); rok {
 				st.mu.Lock()
 				if !w.Add(r.Counter) { // lost a same-counter race
 					rok, rreason, replay = false, "replayed measurement counter", true
@@ -574,8 +717,17 @@ func (s *Server) handleCollection(from string, reports []core.Report) {
 // above a per-prover watermark. SeED is non-interactive, so no
 // verdict is sent back. Seed derivation and verification run
 // off-lock; the watermark commit re-checks under the stripe lock.
-func (s *Server) handleSeed(from string, reports []core.Report) {
+func (s *Server) handleSeed(from string, id verifier.ImageID, reports []core.Report) {
 	st := s.stripeFor(from)
+	// SeED bundles enroll on first accepted report (see the commit
+	// below), so the binding pass must not create the record; a first
+	// named contact that never verifies clean still binds nothing.
+	name, bound := s.bindImage(st, from, id.Name, false)
+	if !bound {
+		s.rejectBundle(from, transport.KindSeedReport, len(reports), ReasonImageMismatch)
+		return
+	}
+	eff := verifier.ImageID{Name: name, Version: id.Version}
 	sc := scratchPool.Get().(*ingestScratch)
 	sc.name = append(sc.name[:0], from...)
 	var err error
@@ -600,7 +752,7 @@ func (s *Server) handleSeed(from string, reports []core.Report) {
 		case r.Counter <= last:
 			rok, rreason, replay = false, "replayed SeED report", true
 		default:
-			if rok, rreason = s.verify(r); rok {
+			if rok, rreason = s.verify(r, eff); rok {
 				st.mu.Lock()
 				rec := st.provers[from]
 				if rec != nil && rec.hasSeed && r.Counter <= rec.seedLast {
@@ -609,6 +761,9 @@ func (s *Server) handleSeed(from string, reports []core.Report) {
 				} else {
 					if rec == nil {
 						rec = st.rec(s, from) // first contact: enrolls
+					}
+					if rec.image == "" && name != "" {
+						rec.image = name // enrollment-time binding
 					}
 					rec.hasSeed = true
 					rec.seedLast = r.Counter
@@ -628,17 +783,27 @@ func (s *Server) handleSeed(from string, reports []core.Report) {
 	scratchPool.Put(sc)
 }
 
-// verify checks one report's tag through the batch fast path. Runs
-// under no lock: the batch's expected-tag cache is read-mostly
-// concurrent.
-func (s *Server) verify(r *core.Report) (bool, string) {
+// verify checks one report's tag through the registry's batch fast
+// path under the given image id. Runs under no lock: the registry
+// table and every batch's expected-tag cache are read-mostly
+// concurrent. Image-policy failures map to their distinct reasons —
+// a stale-but-in-grace version verifies against the pinned
+// predecessor, a stale-past-grace version is ReasonStaleImage, never
+// a spurious pass.
+func (s *Server) verify(r *core.Report, id verifier.ImageID) (bool, string) {
 	if r.RegionCount > 0 || r.Data != nil {
 		// Per-device regions and reported data blocks defeat the shared
 		// expected tag; the daemon serves uniform fleets.
 		return false, "region/data reports are not served by rattd"
 	}
-	ok, err := s.batch.Verify(s.cfg.Key, r, s.cfg.Shuffled)
+	ok, err := s.images.Verify(s.cfg.Key, id, r, s.cfg.Shuffled)
 	if err != nil {
+		switch {
+		case errors.Is(err, verifier.ErrStaleImage):
+			return false, ReasonStaleImage
+		case errors.Is(err, verifier.ErrUnknownImage):
+			return false, ReasonUnknownImage
+		}
 		return false, "verification error: " + err.Error()
 	}
 	if !ok {

@@ -124,7 +124,7 @@ func (c *Collector) RegisterDevice(name string, dev *device.Device, opts core.Op
 		delete(c.ownRef, name) // absent = not collector-owned
 		b := c.byGolden[g]
 		if b == nil {
-			b = verifier.NewBatchGolden(c.hash, g)
+			b = verifier.NewBatch(c.hash, verifier.ImageOfGolden(g))
 			c.byGolden[g] = b
 		}
 		c.batches[name] = b
@@ -143,7 +143,7 @@ func (c *Collector) RegisterDevice(name string, dev *device.Device, opts core.Op
 	}
 	c.refs[name] = m.SnapshotInto(dst)
 	c.ownRef[name] = true
-	c.batches[name] = verifier.NewBatch(c.hash, c.refs[name], m.BlockSize())
+	c.batches[name] = verifier.NewBatch(c.hash, verifier.ImageOf(c.refs[name], m.BlockSize()))
 	delete(c.goldens, name)
 }
 

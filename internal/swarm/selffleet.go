@@ -69,12 +69,6 @@ type SelfFleetConfig struct {
 	Opts core.Options
 	// Profile is the device cost model; defaults to ODROIDXU4.
 	Profile *costmodel.Profile
-	// Shards caps worker parallelism; each shard owns one kernel
-	// multiplexing its device range.
-	//
-	// Deprecated: set Parallelism (EngineConfig) instead. Shards is
-	// honoured only while Parallelism is zero.
-	Shards int
 	// MaxSteps bounds each shard kernel's event count (watchdog against
 	// runaway reschedule loops). Default 1<<36.
 	MaxSteps uint64
@@ -240,7 +234,7 @@ func RunSelfFleet(cfg SelfFleetConfig) (*SelfFleetResult, error) {
 
 	golden := mem.RandomGolden(cfg.MemSize, cfg.BlockSize, cfg.ROMBlocks,
 		rand.New(rand.NewPCG(cfg.Seed, 0xe12)))
-	workers := parallel.Resolve(cfg.Workers(cfg.Shards))
+	workers := parallel.Resolve(cfg.Parallelism)
 	if workers > cfg.Devices {
 		workers = cfg.Devices
 	}

@@ -103,7 +103,7 @@ func TestSelfFleetInvariance(t *testing.T) {
 			for _, shards := range []int{1, 4} {
 				cfg := smallFleet(mode)
 				cfg.KernelBackend = backend
-				cfg.Shards = shards
+				cfg.Parallelism = shards
 				res, err := RunSelfFleet(cfg)
 				if err != nil {
 					t.Fatalf("%v/%v/shards=%d: %v", mode, backend, shards, err)

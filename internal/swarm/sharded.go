@@ -64,11 +64,6 @@ type ShardedConfig struct {
 	Opts core.Options
 	// Profile is the device cost model; defaults to ODROIDXU4.
 	Profile *costmodel.Profile
-	// Shards caps worker parallelism for Round.
-	//
-	// Deprecated: set Parallelism (EngineConfig) instead. Shards is
-	// honoured only while Parallelism is zero.
-	Shards int
 	// FullCopy disables copy-on-write sharing: every device carries a
 	// private flat copy of the golden image. This is the pre-sharding
 	// baseline, kept for benchmarks and regression comparison.
@@ -182,7 +177,7 @@ func (s *Sharded) ResidentBytes() int {
 // SwarmResult and the engine's aggregate are valid until the next
 // Round call.
 func (s *Sharded) Round(nonce []byte) (*SwarmResult, error) {
-	workers := parallel.Resolve(s.cfg.Workers(s.cfg.Shards))
+	workers := parallel.Resolve(s.cfg.Parallelism)
 	maxSteps := s.cfg.MaxStepsPerRound
 	parallel.For(workers, len(s.devs), func(i int) {
 		d := s.devs[i]

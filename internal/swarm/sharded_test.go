@@ -5,17 +5,17 @@ import (
 	"testing"
 
 	"saferatt/internal/core"
+	"saferatt/internal/parallel"
 	"saferatt/internal/suite"
 )
 
 func newShardedFleet(t testing.TB, devices, shards int, fullCopy bool) *Sharded {
 	t.Helper()
 	s, err := NewSharded(ShardedConfig{
-		EngineConfig: EngineConfig{Seed: 1234},
+		EngineConfig: EngineConfig{Seed: 1234, Parallelism: shards},
 		Devices:      devices,
 		MemSize:      16 << 10,
 		BlockSize:    256,
-		Shards:       shards, // deprecated alias; pins the legacy knob
 		FullCopy:     fullCopy,
 	})
 	if err != nil {
@@ -24,16 +24,15 @@ func newShardedFleet(t testing.TB, devices, shards int, fullCopy bool) *Sharded 
 	return s
 }
 
-// The embedded EngineConfig's Parallelism knob wins over the
-// deprecated Shards alias; Shards only applies while Parallelism is
-// zero.
-func TestParallelismOverridesDeprecatedShards(t *testing.T) {
-	cfg := EngineConfig{Parallelism: 3}
-	if got := cfg.Workers(8); got != 3 {
-		t.Fatalf("Workers with Parallelism=3, Shards=8: got %d", got)
+// The embedded EngineConfig's Parallelism knob is the only worker
+// fan-out control (the deprecated Shards alias is gone): explicit
+// values pass through, zero resolves to the process default.
+func TestParallelismResolution(t *testing.T) {
+	if got := parallel.Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3): got %d", got)
 	}
-	if got := (EngineConfig{}).Workers(8); got != 8 {
-		t.Fatalf("Workers with Parallelism unset, Shards=8: got %d", got)
+	if got := parallel.Resolve(0); got != parallel.Default() {
+		t.Fatalf("Resolve(0): got %d, want process default %d", got, parallel.Default())
 	}
 }
 

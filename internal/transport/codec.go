@@ -20,9 +20,15 @@ import (
 // frames continue:
 //
 //	12   kind
-//	13   flags (bit 0: verdict OK)
+//	13   flags (bit 0: verdict OK; bit 1: image field present)
 //	14:  from  (u16 length + bytes)
 //	     to    (u16 length + bytes)
+//	     image (u8 length + bytes) — only when flag bit 1 is set; a
+//	            verifier.ImageID in wire form naming the golden image
+//	            the sender's reports measure. Wire-v2 only: decoders
+//	            reject the flag on version-1 frames, and reject a set
+//	            flag with an empty id (the canonical encoding of "no
+//	            image" is a clear flag).
 //	     payload (per kind, see below)
 //
 // Payloads: KindChallenge carries the nonce (u16+bytes); KindVerdict
@@ -54,6 +60,10 @@ const (
 	frameBatch = 2
 
 	headerLen = 12
+
+	// Data-frame flag bits (byte 13).
+	flagOK    = 0x01 // verdict OK
+	flagImage = 0x02 // image field follows the to field (wire v2)
 )
 
 // Decode limits: a frame that claims more elements than its bytes
@@ -70,11 +80,17 @@ func AppendFrame(dst []byte, m *Msg) []byte {
 	dst = be64(dst, m.ReqID)
 	var flags byte
 	if m.OK {
-		flags |= 1
+		flags |= flagOK
+	}
+	if m.Image != "" {
+		flags |= flagImage
 	}
 	dst = append(dst, byte(m.Kind), flags)
 	dst = appendBytes16(dst, []byte(m.From))
 	dst = appendBytes16(dst, []byte(m.To))
+	if m.Image != "" {
+		dst = appendBytes8(dst, []byte(m.Image))
+	}
 	switch m.Kind {
 	case KindChallenge:
 		dst = appendBytes16(dst, m.Nonce)

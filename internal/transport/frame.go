@@ -40,6 +40,9 @@ type Frame struct {
 	Kind  Kind
 	From  string // interned
 	To    string // interned
+	// Image is the sender's golden image id ("name" or "name@vN"),
+	// interned; empty when the frame carries none (v1 frames always).
+	Image string
 	// Nonce aliases the decode buffer.
 	Nonce []byte
 	OK    bool
@@ -59,7 +62,7 @@ type Frame struct {
 func (f *Frame) reset() {
 	f.Ver, f.Ack, f.Batch = 0, false, false
 	f.ReqID, f.Kind = 0, KindInvalid
-	f.From, f.To = "", ""
+	f.From, f.To, f.Image = "", "", ""
 	f.Nonce = nil
 	f.OK, f.Reason = false, ""
 	f.Reports = f.Reports[:0]
@@ -70,7 +73,7 @@ func (f *Frame) reset() {
 // slice is deep-copied, so the result stays valid after the decode
 // buffer is reused. Not meaningful for Ack or Batch frames.
 func (f *Frame) Msg() Msg {
-	m := Msg{From: f.From, To: f.To, Kind: f.Kind, ReqID: f.ReqID, OK: f.OK, Reason: f.Reason}
+	m := Msg{From: f.From, To: f.To, Kind: f.Kind, ReqID: f.ReqID, OK: f.OK, Reason: f.Reason, Image: f.Image}
 	if len(f.Nonce) > 0 {
 		m.Nonce = append([]byte(nil), f.Nonce...)
 	}
@@ -90,7 +93,7 @@ func (f *Frame) Copy() *Frame {
 	out := &Frame{
 		Ver: f.Ver, Ack: f.Ack, Batch: f.Batch,
 		ReqID: f.ReqID, Kind: f.Kind, From: f.From, To: f.To,
-		OK: f.OK, Reason: f.Reason,
+		Image: f.Image, OK: f.OK, Reason: f.Reason,
 	}
 	if len(f.Nonce) > 0 {
 		out.Nonce = append([]byte(nil), f.Nonce...)
@@ -116,7 +119,7 @@ func (f *Frame) Copy() *Frame {
 func FrameOfMsg(m *Msg) Frame {
 	f := Frame{
 		Ver: CodecVersion, ReqID: m.ReqID, Kind: m.Kind,
-		From: m.From, To: m.To, Nonce: m.Nonce,
+		From: m.From, To: m.To, Image: m.Image, Nonce: m.Nonce,
 		OK: m.OK, Reason: m.Reason,
 	}
 	if len(m.Reports) > 0 {
@@ -200,13 +203,25 @@ func DecodeFrameInto(buf []byte, f *Frame) error {
 func decodeBody(d *decoder, f *Frame) error {
 	kind := Kind(d.u8())
 	flags := d.u8()
-	if flags&^1 != 0 {
+	if flags&^(flagOK|flagImage) != 0 {
 		return fmt.Errorf("transport: unknown flag bits %#x", flags)
 	}
 	f.Kind = kind
-	f.OK = flags&1 != 0
+	f.OK = flags&flagOK != 0
 	f.From = interned.get(d.bytes16())
 	f.To = interned.get(d.bytes16())
+	if flags&flagImage != 0 {
+		// The image field is a wire-v2 addition: a v1 frame claiming one
+		// is malformed, not a fallback case.
+		if f.Ver < 2 {
+			return fmt.Errorf("transport: image field on version %d frame", f.Ver)
+		}
+		img := d.bytes8()
+		if d.err == nil && len(img) == 0 {
+			return fmt.Errorf("transport: image flag set with empty image id")
+		}
+		f.Image = interned.get(img)
+	}
 	switch kind {
 	case KindChallenge:
 		f.Nonce = d.bytes16()
@@ -319,11 +334,17 @@ func appendSub(dst []byte, m *Msg) []byte {
 	dst = be64(dst, m.ReqID)
 	var flags byte
 	if m.OK {
-		flags |= 1
+		flags |= flagOK
+	}
+	if m.Image != "" {
+		flags |= flagImage
 	}
 	dst = append(dst, byte(m.Kind), flags)
 	dst = appendBytes16(dst, []byte(m.From))
 	dst = appendBytes16(dst, []byte(m.To))
+	if m.Image != "" {
+		dst = appendBytes8(dst, []byte(m.Image))
+	}
 	switch m.Kind {
 	case KindChallenge:
 		dst = appendBytes16(dst, m.Nonce)

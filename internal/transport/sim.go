@@ -100,7 +100,7 @@ func (s *Sim) Close() error { return nil }
 // anything richer — a nonzero ReqID, a verdict — travels as the Msg
 // value itself.
 func toChannelPayload(m Msg) any {
-	if m.ReqID == 0 {
+	if m.ReqID == 0 && m.Image == "" {
 		switch m.Kind {
 		case KindChallenge:
 			return m.Nonce

@@ -118,6 +118,11 @@ type Msg struct {
 	// OK / Reason are the verdict payload (KindVerdict).
 	OK     bool
 	Reason string
+	// Image, when non-empty, names the golden image the sender's
+	// reports measure — a verifier.ImageID in wire form ("name" or
+	// "name@vN"). Carried on wire-v2 data frames only; v1 peers cannot
+	// express it and are served the fleet's default image.
+	Image string
 }
 
 // Handler consumes delivered messages. Sim invokes handlers on the

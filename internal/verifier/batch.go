@@ -87,27 +87,41 @@ type BatchStats struct {
 	Computed uint64 // expected tags actually computed (one per group)
 }
 
-// NewBatch builds a batch verifier over a golden reference image. The
-// caller must not mutate ref afterwards.
-func NewBatch(hash suite.HashID, ref []byte, blockSize int) *Batch {
-	if blockSize <= 0 || len(ref) == 0 || len(ref)%blockSize != 0 {
-		panic(fmt.Sprintf("verifier: batch image of %d bytes is not a positive multiple of block size %d", len(ref), blockSize))
+// NewBatch builds a batch verifier over an image handle — the single
+// constructor the ImageSet registry plugs into. A golden-backed image
+// (ImageOfGolden) wires the incremental path to the process-wide
+// golden digest cache, so verifier and devices share one set of
+// per-block digests; a raw-bytes image (ImageOf) builds a private
+// cache lazily.
+func NewBatch(hash suite.HashID, img Image) *Batch {
+	if img.IsZero() {
+		panic("verifier: NewBatch over a zero Image")
 	}
-	return &Batch{
+	b := &Batch{
 		hash:      hash,
-		ref:       ref,
-		blockSize: blockSize,
-		nblocks:   len(ref) / blockSize,
+		ref:       img.ref,
+		blockSize: img.blockSize,
+		nblocks:   img.NumBlocks(),
 	}
+	if img.golden != nil {
+		b.golden.Store(inccache.SharedImage(img.golden, inccache.DigestHash(hash)))
+	}
+	return b
 }
 
-// NewBatchGolden builds a batch verifier over a shared golden image,
-// wiring the incremental path to the process-wide golden digest cache —
-// verifier and devices then share one set of per-block digests.
+// NewBatchRef builds a batch verifier over raw golden bytes.
+//
+// Deprecated: use NewBatch(hash, ImageOf(ref, blockSize)). Kept one
+// release for the pre-registry three-argument constructor's callers.
+func NewBatchRef(hash suite.HashID, ref []byte, blockSize int) *Batch {
+	return NewBatch(hash, ImageOf(ref, blockSize))
+}
+
+// NewBatchGolden builds a batch verifier over a shared golden image.
+//
+// Deprecated: use NewBatch(hash, ImageOfGolden(g)). Kept one release.
 func NewBatchGolden(hash suite.HashID, g *mem.Golden) *Batch {
-	b := NewBatch(hash, g.Bytes(), g.BlockSize())
-	b.golden.Store(inccache.SharedImage(g, inccache.DigestHash(hash)))
-	return b
+	return NewBatch(hash, ImageOfGolden(g))
 }
 
 // Verify checks one report against the golden image under the given
